@@ -1,0 +1,48 @@
+"""Shared plumbing for the per-exhibit benchmark modules.
+
+Every ``bench_*.py`` regenerates one table/figure of the paper: it runs
+the corresponding experiment driver once (timed by pytest-benchmark),
+prints the same series the paper plots, saves them under
+``benchmarks/results/`` and asserts the exhibit's *shape* claims (who
+wins, what grows) — not absolute numbers, which depend on hardware.
+
+Environment knobs:
+
+* ``REPRO_SCALE``   — fraction of the paper's point counts (default 0.03).
+* ``REPRO_PROFILE`` — tuning-grid size: ``quick`` (default) or ``full``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale(default: float = 0.03) -> float:
+    """Dataset scale for benchmark runs (REPRO_SCALE env override)."""
+    return float(os.environ.get("REPRO_SCALE", default))
+
+
+def emit(name: str, text: str) -> None:
+    """Print an exhibit's series and persist them under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+def series_of(rows: list[dict], method: str, metric: str) -> list[float]:
+    """Extract one method's metric series in dataset order."""
+    return [row[metric] for row in rows if row["method"] == method]
+
+
+def geometric_mean_ratio(rows, metric, base_method, other_method) -> float:
+    """Geometric mean of other/base metric ratios across datasets."""
+    import numpy as np
+
+    base = np.asarray(series_of(rows, base_method, metric), dtype=float)
+    other = np.asarray(series_of(rows, other_method, metric), dtype=float)
+    ratio = other / np.maximum(base, 1e-12)
+    return float(np.exp(np.log(np.maximum(ratio, 1e-12)).mean()))

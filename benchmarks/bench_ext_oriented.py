@@ -1,0 +1,94 @@
+"""Extension: arbitrarily oriented subspaces across method families.
+
+Section II separates methods that can follow clusters in *linear
+combinations* of the original axes (ORCLUS's eigenbases, MrCC's
+density view, LAC's weights) from those bound to the original axes
+(PROCLUS's axis selection, grid methods).  This bench rotates a
+dataset and compares the two families — the rotation-robust methods
+must lose much less Quality than the axis-bound family.
+"""
+
+import numpy as np
+
+from repro.baselines import LAC, ORCLUS, PROCLUS, CLIQUE
+from repro.core.mrcc import MrCC
+from repro.data.rotation import rotate_dataset
+from repro.data.synthetic import SyntheticDatasetSpec, generate_dataset
+from repro.evaluation.quality import quality
+
+from _harness import emit
+
+
+def _methods(k):
+    return {
+        "MrCC": lambda: MrCC(normalize=False),
+        "ORCLUS": lambda: ORCLUS(n_clusters=k, subspace_dim=5, random_state=0),
+        "LAC": lambda: LAC(n_clusters=k, random_state=0),
+        "PROCLUS": lambda: PROCLUS(n_clusters=k, avg_dims=5, random_state=0),
+        "CLIQUE": lambda: CLIQUE(xi=8, tau=0.01, max_subspace_dim=3),
+    }
+
+
+ROTATION_ROBUST = ("MrCC", "ORCLUS", "LAC")
+GRID_BOUND = ("CLIQUE",)
+
+
+def run_comparison():
+    datasets = [
+        generate_dataset(
+            SyntheticDatasetSpec(
+                dimensionality=8,
+                n_points=4000,
+                n_clusters=4,
+                noise_fraction=0.1,
+                max_irrelevant=2,
+                seed=seed,
+            )
+        )
+        for seed in (41, 42, 43)
+    ]
+    rows = []
+    for dataset in datasets:
+        rotated = rotate_dataset(dataset, seed=dataset.metadata["spec"].seed)
+        for name, factory in _methods(dataset.n_clusters).items():
+            q_plain = quality(factory().fit(dataset.points).clusters, dataset.clusters)
+            q_rot = quality(factory().fit(rotated.points).clusters, rotated.clusters)
+            rows.append(
+                {
+                    "method": name,
+                    "dataset": dataset.name,
+                    "plain": q_plain,
+                    "rotated": q_rot,
+                    "drop": q_plain - q_rot,
+                }
+            )
+    return rows
+
+
+def test_ext_oriented_subspaces(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    lines = [
+        f"{row['method']:8s} {row['dataset']:4s} plain {row['plain']:.3f}  "
+        f"rotated {row['rotated']:.3f}  drop {row['drop']:+.3f}"
+        for row in rows
+    ]
+
+    def mean_of(methods, key):
+        values = [row[key] for row in rows if row["method"] in methods]
+        return float(np.mean(values))
+
+    robust_drop = mean_of(ROTATION_ROBUST, "drop")
+    robust_rotated = mean_of(ROTATION_ROBUST, "rotated")
+    grid_rotated = mean_of(GRID_BOUND, "rotated")
+    lines.append(f"rotation-robust family: mean drop {robust_drop:+.3f}, "
+                 f"mean rotated Quality {robust_rotated:.3f}")
+    lines.append(f"grid-bound family (CLIQUE): mean rotated Quality "
+                 f"{grid_rotated:.3f}")
+    emit("ext_oriented", "\n".join(lines))
+
+    # The density/eigenbasis family keeps most of its quality under
+    # rotation (the paper reports MrCC within 5% at full size)...
+    assert robust_drop < 0.25
+    assert robust_rotated > 0.7
+    # ...while the fixed-grid method cannot describe oriented clusters.
+    assert grid_rotated < robust_rotated - 0.3

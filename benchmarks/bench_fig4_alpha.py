@@ -1,0 +1,45 @@
+"""Figure 4a-c: MrCC sensibility to the significance level ``alpha``.
+
+Paper findings reproduced here: Quality is high over a broad band of
+``alpha`` (the best values fell in 1e-5 .. 1e-20), while run time and
+memory are barely affected by ``alpha``.
+"""
+
+import numpy as np
+
+from repro.data.suites import first_group
+from repro.experiments.report import format_series
+from repro.experiments.sensibility import alpha_sweep
+
+from _harness import bench_scale, emit
+
+ALPHAS = (1e-3, 1e-5, 1e-10, 1e-20, 1e-40, 1e-80)
+
+
+def run_sweep():
+    datasets = list(first_group(scale=bench_scale()))
+    return datasets, alpha_sweep(datasets, alphas=ALPHAS)
+
+
+def test_fig4_alpha(benchmark):
+    datasets, rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    text = "\n\n".join(
+        format_series(rows, metric, line_key="dataset", column_key="alpha")
+        for metric in ("quality", "peak_kb", "seconds")
+    )
+    emit("fig4_alpha", text)
+
+    # Shape: inside the paper's good band the Quality stays high for
+    # most datasets ...
+    band = [r for r in rows if 1e-20 <= r["alpha"] <= 1e-5]
+    per_dataset = {}
+    for row in band:
+        per_dataset.setdefault(row["dataset"], []).append(row["quality"])
+    good = [max(qs) for qs in per_dataset.values()]
+    assert np.median(good) > 0.8
+
+    # ... and run time is barely affected by alpha (well under an order
+    # of magnitude across five decades of alpha).
+    for dataset in per_dataset:
+        seconds = [r["seconds"] for r in rows if r["dataset"] == dataset]
+        assert max(seconds) / max(min(seconds), 1e-9) < 10.0

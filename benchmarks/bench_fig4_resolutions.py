@@ -1,0 +1,51 @@
+"""Figure 4d-f: MrCC sensibility to the number of resolutions ``H``.
+
+Paper findings reproduced here: Quality does not increase significantly
+beyond ``H = 4``, memory grows linearly with ``H`` and run time grows
+super-linearly — so small ``H`` is the right default.
+"""
+
+import numpy as np
+
+from repro.data.suites import first_group
+from repro.experiments.report import format_series
+from repro.experiments.sensibility import resolution_sweep
+
+from _harness import bench_scale, emit, series_of
+
+H_VALUES = (4, 5, 6, 8, 10)
+
+
+def run_sweep():
+    datasets = list(first_group(scale=bench_scale()))
+    return datasets, resolution_sweep(datasets, h_values=H_VALUES)
+
+
+def test_fig4_resolutions(benchmark):
+    datasets, rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    text = "\n\n".join(
+        format_series(rows, metric, line_key="dataset", column_key="H")
+        for metric in ("quality", "peak_kb", "seconds")
+    )
+    emit("fig4_resolutions", text)
+
+    for dataset in {r["dataset"] for r in rows}:
+        sub = sorted(
+            (r for r in rows if r["dataset"] == dataset), key=lambda r: r["H"]
+        )
+        qualities = [r["quality"] for r in sub]
+        memories = [r["peak_kb"] for r in sub]
+        # Quality saturates at H = 4: deeper trees buy < 0.15 Quality.
+        assert max(qualities) - qualities[0] < 0.15
+        # Memory grows with H (the tree stores one grid per level).
+        assert memories[-1] > memories[0]
+
+    # Run time grows with H on the biggest dataset.
+    biggest = datasets[-1].name
+    seconds = [
+        r["seconds"]
+        for r in sorted(
+            (r for r in rows if r["dataset"] == biggest), key=lambda r: r["H"]
+        )
+    ]
+    assert seconds[-1] > seconds[0]

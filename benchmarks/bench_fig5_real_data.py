@@ -1,0 +1,48 @@
+"""Figure 5t: the real-data table (simulated KDD Cup 2008, left-MLO).
+
+Shape claims: MrCC reaches the best (or tied-best) Quality of the
+tabulated methods — the paper reports 0.9466 against 0.70-0.87 for the
+competitors — while staying orders of magnitude faster than HARP; LAC
+degenerates on this data (everything in one cluster), which is why the
+paper excludes it from the table.
+"""
+
+import numpy as np
+
+from repro.experiments.real_data import check_lac_degenerates, run_real_data_table
+from repro.experiments.report import format_table
+
+from _harness import bench_scale, emit
+
+
+def run_table():
+    scale = max(bench_scale(), 0.05)
+    return run_real_data_table(scale=scale), check_lac_degenerates(scale=scale)
+
+
+def test_fig5_real_data(benchmark):
+    rows, lac_row = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    text = format_table(rows, ["method", "quality", "peak_kb", "seconds"])
+    text += (
+        f"\n\nLAC exclusion check: {lac_row['n_substantial']} substantial "
+        f"clusters, largest holds {lac_row['largest_fraction']:.0%} of points"
+    )
+    emit("fig5t_real_data", text)
+
+    by_method = {row["method"]: row for row in rows}
+    assert set(by_method) == {"EPCH", "CFPC", "HARP", "MrCC"}
+
+    mrcc = by_method["MrCC"]
+    assert mrcc["quality"] > 0.85  # paper: 0.9466
+    # MrCC beats the histogram/projection competitors on Quality and is
+    # at worst marginally below HARP.
+    assert mrcc["quality"] >= by_method["EPCH"]["quality"]
+    assert mrcc["quality"] >= by_method["CFPC"]["quality"]
+    assert mrcc["quality"] >= by_method["HARP"]["quality"] - 0.05
+
+    # MrCC is orders of magnitude faster than HARP (paper: 0.87s vs
+    # 1001s).
+    assert by_method["HARP"]["seconds"] / mrcc["seconds"] > 9.0
+
+    # The paper's LAC exclusion: LAC lumps nearly everything together.
+    assert lac_row["largest_fraction"] > 0.5

@@ -1,0 +1,32 @@
+"""Figure 5s: Subspaces Quality over the first group (LAC excluded).
+
+Shape claims: MrCC and EPCH recover the clusters' relevant axes well
+and land close to each other; LAC does not participate because it only
+weights axes instead of selecting them.
+"""
+
+import numpy as np
+
+from repro.experiments.report import format_series
+from repro.experiments.synthetic_suite import run_subspaces_quality
+
+from _harness import bench_scale, emit, series_of
+
+
+def run_row():
+    return run_subspaces_quality(scale=bench_scale())
+
+
+def test_fig5_subspaces(benchmark):
+    rows = benchmark.pedantic(run_row, rounds=1, iterations=1)
+    text = format_series(rows, "subspaces_quality")
+    emit("fig5s_subspaces", text)
+
+    assert "LAC" not in {r["method"] for r in rows}
+
+    mrcc = np.median(series_of(rows, "MrCC", "subspaces_quality"))
+    epch = np.median(series_of(rows, "EPCH", "subspaces_quality"))
+    assert mrcc > 0.7
+    assert epch > 0.6
+    # The two lead methods sit close together (Fig. 5s).
+    assert abs(mrcc - epch) < 0.3

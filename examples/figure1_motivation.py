@@ -1,0 +1,92 @@
+"""Figure 1 of the paper, reconstructed: why subspace clustering?
+
+The paper motivates correlation clustering with two 3-dimensional
+datasets over axes {x, y, z}: one whose two clusters are axis-aligned
+(C1 lives in the x-z plane, C2 in the x-y plane — each is *spread*
+along the remaining axis), and a second whose clusters are rotated into
+arbitrarily oriented planes.  Traditional full-space clustering fails
+on both; a global dimensionality reduction helps neither (every axis
+matters to at least one cluster).
+
+This example rebuilds both datasets, prints the same projections the
+figure shows, and runs MrCC on each.  On the axis-aligned pair MrCC
+recovers both clusters with their subspaces; on the rotated pair the
+density search still captures the cluster mass (nothing is lost to
+noise), though clusters whose oriented extents sweep through the same
+grid regions can coalesce — the behaviour Figure 5p quantifies at
+scale.
+
+Run:  python examples/figure1_motivation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MrCC
+from repro.data.normalize import clip_unit_cube, minmax_normalize
+from repro.data.rotation import givens_rotation
+
+AXES = "xyz"
+
+
+def figure1_dataset(rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Two 1000-point clusters: C1 in the x-z plane, C2 in the x-y plane."""
+    c1 = np.column_stack(
+        [
+            rng.normal(0.35, 0.03, 1000),  # x: concentrated
+            rng.uniform(0.0, 1.0, 1000),   # y: spread (irrelevant to C1)
+            rng.normal(0.65, 0.03, 1000),  # z: concentrated
+        ]
+    )
+    c2 = np.column_stack(
+        [
+            rng.normal(0.65, 0.03, 1000),
+            rng.normal(0.35, 0.03, 1000),
+            rng.uniform(0.0, 1.0, 1000),   # z: spread (irrelevant to C2)
+        ]
+    )
+    points = clip_unit_cube(np.vstack([c1, c2]))
+    labels = np.repeat([0, 1], 1000)
+    return points, labels
+
+
+def ascii_projection(points, labels, axis_a, axis_b, size=24) -> str:
+    """Render one 2-d projection as the paper's scatter panels."""
+    canvas = [[" "] * size for _ in range(size)]
+    glyphs = "ox+*"
+    for point, label in zip(points, labels):
+        col = min(int(point[axis_a] * size), size - 1)
+        row = size - 1 - min(int(point[axis_b] * size), size - 1)
+        canvas[row][col] = glyphs[label % len(glyphs)]
+    header = f"   {AXES[axis_b]} ^   ({AXES[axis_a]}-{AXES[axis_b]} projection)"
+    body = "\n".join("   |" + "".join(row) for row in canvas)
+    footer = "   +" + "-" * size + f"> {AXES[axis_a]}"
+    return "\n".join([header, body, footer])
+
+
+def show(points, labels, title) -> None:
+    print(f"\n=== {title} ===")
+    print(ascii_projection(points, labels, 0, 1))
+    print(ascii_projection(points, labels, 0, 2))
+    result = MrCC(normalize=False).fit(points)
+    print(f"\nMrCC found {result.n_clusters} clusters:")
+    for k, cluster in enumerate(result.clusters):
+        axes = ",".join(AXES[a] for a in sorted(cluster.relevant_axes))
+        print(f"  cluster {k}: {cluster.size} points, relevant axes {{{axes}}}")
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    points, labels = figure1_dataset(rng)
+    show(points, labels, "Figure 1a-b: clusters in subspaces of the original axes")
+
+    rotation = givens_rotation(3, 0, 1, np.pi / 6) @ givens_rotation(
+        3, 0, 2, np.pi / 7
+    )
+    rotated = minmax_normalize((points - 0.5) @ rotation.T + 0.5)
+    show(rotated, labels, "Figure 1c-d: the same clusters, arbitrarily oriented")
+
+
+if __name__ == "__main__":
+    main()

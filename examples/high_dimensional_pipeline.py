@@ -1,0 +1,59 @@
+"""Scenario: clustering data wider than 30 axes (Section I workflow).
+
+MrCC targets 5-30 axes; for wider data the paper prescribes reducing
+first with a distance-preserving method such as PCA or FDR.  This
+example builds a 60-axis dataset whose information lives in 12 axes
+(the rest are noisy linear echoes), and runs the
+:class:`HighDimPipeline` with both reducers.
+
+Run:  python examples/high_dimensional_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SyntheticDatasetSpec, generate_dataset
+from repro.evaluation.quality import quality
+from repro.preprocessing import HighDimPipeline
+
+
+def main() -> None:
+    base = generate_dataset(
+        SyntheticDatasetSpec(
+            dimensionality=12,
+            n_points=8_000,
+            n_clusters=4,
+            noise_fraction=0.1,
+            max_irrelevant=3,
+            seed=33,
+        )
+    )
+    rng = np.random.default_rng(33)
+    echoes = base.points @ rng.normal(size=(12, 48)) * 0.4
+    echoes += 0.02 * rng.normal(size=echoes.shape)
+    wide = np.hstack([base.points, echoes])
+    print(f"dataset: {wide.shape[0]} points x {wide.shape[1]} axes "
+          f"(information lives in the first {base.dimensionality})")
+
+    for reducer in ("pca", "fdr"):
+        pipeline = HighDimPipeline(max_axes=12, reducer=reducer)
+        result = pipeline.fit(wide)
+        score = quality(result.clusters, base.clusters)
+        print(f"\nreducer={reducer}: reduced={result.extras['reduced']}, "
+              f"found {result.n_clusters} clusters, "
+              f"Quality vs planted structure = {score:.3f}")
+        if reducer == "fdr":
+            kept = pipeline.reducer_.selected_
+            originals = sum(1 for a in kept if a < 12)
+            print(f"  FDR kept axes {kept}")
+            print(f"  {originals}/{len(kept)} kept axes are original "
+                  "informative attributes")
+        else:
+            ratio = pipeline.reducer_.explained_variance_ratio_.sum()
+            print(f"  PCA kept {pipeline.reducer_.n_components_} components "
+                  f"explaining {ratio:.1%} of the variance")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: find correlation clusters in a multi-dimensional dataset.
+
+Generates a 12-axis dataset with six clusters hidden in random axis
+subsets plus 15 % uniform noise, runs MrCC (no cluster count needed, no
+distance computations, fully deterministic) and scores the result
+against the known ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    MrCC,
+    SyntheticDatasetSpec,
+    evaluate_clustering,
+    generate_dataset,
+)
+
+
+def main() -> None:
+    dataset = generate_dataset(
+        SyntheticDatasetSpec(
+            dimensionality=12,
+            n_points=20_000,
+            n_clusters=6,
+            noise_fraction=0.15,
+            seed=2010,
+        )
+    )
+    print(
+        f"dataset: {dataset.n_points} points in {dataset.dimensionality} axes, "
+        f"{dataset.n_clusters} hidden correlation clusters, "
+        f"{dataset.noise_fraction:.0%} noise"
+    )
+
+    # The paper's fixed configuration: alpha = 1e-10, H = 4.
+    model = MrCC(alpha=1e-10, n_resolutions=4)
+    result = model.fit(dataset.points)
+
+    print(f"\nMrCC found {result.n_clusters} correlation clusters "
+          f"(via {result.extras['n_beta_clusters']} beta-clusters); "
+          f"{result.n_noise} points labelled noise")
+    for k, cluster in enumerate(result.clusters):
+        axes = ", ".join(f"e{a}" for a in sorted(cluster.relevant_axes))
+        print(f"  cluster {k}: {cluster.size:6d} points  "
+              f"subspace dim {cluster.dimensionality:2d}  axes [{axes}]")
+
+    report = evaluate_clustering(result, dataset)
+    print(f"\nQuality           = {report.quality:.3f}")
+    print(f"Subspaces Quality = {report.subspaces_quality:.3f}")
+
+    hidden = sorted(dataset.clusters, key=lambda c: -c.size)
+    print("\nGround truth for comparison:")
+    for cluster in hidden:
+        axes = ", ".join(f"e{a}" for a in sorted(cluster.relevant_axes))
+        print(f"  {cluster.size:6d} points  axes [{axes}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Reproduction of "Finding Clusters in Subspaces of Very Large,
+Multi-dimensional Datasets" (Cordeiro, Traina, Faloutsos, Traina Jr.,
+ICDE 2010).
+
+The package implements the paper's contribution — the **MrCC**
+multi-resolution correlation-clustering method — together with every
+substrate its evaluation depends on: the five competitor algorithms
+(LAC, EPCH, P3C, CFPC, HARP), the synthetic dataset suites, a simulator
+of the KDD Cup 2008 real dataset, the Quality/Subspaces-Quality metrics
+and per-figure experiment drivers.
+
+Quickstart
+----------
+>>> from repro import MrCC, SyntheticDatasetSpec, generate_dataset
+>>> data = generate_dataset(SyntheticDatasetSpec(
+...     dimensionality=8, n_points=4000, n_clusters=3, seed=7))
+>>> result = MrCC(alpha=1e-10, n_resolutions=4).fit(data.points)
+>>> result.n_clusters >= 1
+True
+"""
+
+from repro.core.mrcc import MrCC
+from repro.core.soft import SoftMrCC
+from repro.data.kddcup2008 import KddCup2008Spec, generate_kddcup2008, kddcup2008_split
+from repro.data.suites import suite_by_name
+from repro.data.synthetic import SyntheticDatasetSpec, generate_dataset
+from repro.evaluation.quality import evaluate_clustering, quality, subspaces_quality
+from repro.types import NOISE_LABEL, ClusteringResult, Dataset, SubspaceCluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MrCC",
+    "SoftMrCC",
+    "SyntheticDatasetSpec",
+    "generate_dataset",
+    "suite_by_name",
+    "KddCup2008Spec",
+    "generate_kddcup2008",
+    "kddcup2008_split",
+    "evaluate_clustering",
+    "quality",
+    "subspaces_quality",
+    "ClusteringResult",
+    "Dataset",
+    "SubspaceCluster",
+    "NOISE_LABEL",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Competitor algorithms (Section IV: CFPC, HARP, LAC, EPCH, P3C).
+
+The paper compares MrCC against five published subspace/projected
+clustering methods whose original binaries were obtained privately; this
+package re-implements each from its original publication behind the
+common :class:`~repro.baselines.base.SubspaceClusterer` interface
+(DESIGN.md substitution #2).
+
+Extras beyond the paper's comparison — PROCLUS, CLIQUE, DOC and a
+bounded-time STATPC approximation — cover the related-work methods the
+paper discusses and feed the extension benches.
+"""
+
+from repro.baselines.base import SubspaceClusterer
+from repro.baselines.cfpc import CFPC
+from repro.baselines.clique import CLIQUE
+from repro.baselines.doc import DOC
+from repro.baselines.epch import EPCH
+from repro.baselines.harp import HARP
+from repro.baselines.lac import LAC
+from repro.baselines.oci import OCI
+from repro.baselines.orclus import ORCLUS
+from repro.baselines.p3c import P3C
+from repro.baselines.proclus import PROCLUS
+from repro.baselines.ric import RIC
+from repro.baselines.statpc_lite import StatPCLite
+
+__all__ = [
+    "SubspaceClusterer",
+    "LAC",
+    "EPCH",
+    "P3C",
+    "CFPC",
+    "HARP",
+    "PROCLUS",
+    "ORCLUS",
+    "CLIQUE",
+    "DOC",
+    "OCI",
+    "RIC",
+    "StatPCLite",
+]

@@ -1,0 +1,55 @@
+"""Common interface for all clustering algorithms in the reproduction.
+
+Every method — MrCC's competitors and the related-work extras — exposes
+``fit(points) -> ClusteringResult`` so the experiment drivers can treat
+them uniformly.  Randomised methods take a ``random_state`` and are
+reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.types import ClusteringResult
+
+
+class SubspaceClusterer(abc.ABC):
+    """Base class: a subspace/projected clustering algorithm.
+
+    Subclasses implement :meth:`_fit` over a validated float array; the
+    public :meth:`fit` handles input checking and stores ``labels_``
+    and ``clusters_`` like the MrCC estimator does.
+    """
+
+    #: Short display name used by the experiment reports.
+    name: str = "base"
+
+    def fit(self, points: np.ndarray) -> ClusteringResult:
+        """Cluster ``points`` (shape ``(n_points, d)``) and store results."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError("points must be a 2-d array of shape (n_points, d)")
+        if points.shape[0] == 0:
+            raise ValueError("cannot cluster an empty dataset")
+        result = self._fit(points)
+        self.labels_ = result.labels
+        self.clusters_ = result.clusters
+        return result
+
+    def fit_predict(self, points: np.ndarray) -> np.ndarray:
+        """Cluster ``points`` and return only the label vector."""
+        return self.fit(points).labels
+
+    @abc.abstractmethod
+    def _fit(self, points: np.ndarray) -> ClusteringResult:
+        """Algorithm body; ``points`` is a validated float64 array."""
+
+    def __repr__(self) -> str:
+        params = ", ".join(
+            f"{key}={value!r}"
+            for key, value in sorted(vars(self).items())
+            if not key.endswith("_")
+        )
+        return f"{type(self).__name__}({params})"

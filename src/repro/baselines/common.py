@@ -1,0 +1,73 @@
+"""Shared numerical helpers for the baseline algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import NOISE_LABEL, ClusteringResult, SubspaceCluster
+
+
+def kmeanspp_seeds(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: indices of ``k`` well-spread points.
+
+    Used by the iterative methods (LAC, PROCLUS, DOC medoid pools) so a
+    bad uniform draw cannot place every seed inside one cluster.
+    """
+    n = points.shape[0]
+    if k > n:
+        raise ValueError("cannot draw more seeds than points")
+    seeds = [int(rng.integers(n))]
+    closest_sq = np.full(n, np.inf)
+    for _ in range(1, k):
+        diff = points - points[seeds[-1]]
+        np.minimum(closest_sq, np.einsum("ij,ij->i", diff, diff), out=closest_sq)
+        total = closest_sq.sum()
+        if total <= 0.0:
+            seeds.append(int(rng.integers(n)))
+            continue
+        seeds.append(int(rng.choice(n, p=closest_sq / total)))
+    return np.asarray(seeds, dtype=np.int64)
+
+
+def relabel_compact(labels: np.ndarray) -> np.ndarray:
+    """Map arbitrary non-noise labels onto ``0..k-1``, keeping noise at -1."""
+    labels = np.asarray(labels, dtype=np.int64)
+    out = np.full(labels.shape, NOISE_LABEL, dtype=np.int64)
+    next_id = 0
+    mapping: dict[int, int] = {}
+    for i, lab in enumerate(labels):
+        if lab == NOISE_LABEL:
+            continue
+        if lab not in mapping:
+            mapping[int(lab)] = next_id
+            next_id += 1
+        out[i] = mapping[int(lab)]
+    return out
+
+
+def result_from_labels(
+    labels: np.ndarray,
+    axes_for_label,
+    extras: dict | None = None,
+) -> ClusteringResult:
+    """Build a :class:`ClusteringResult` from labels plus an axis lookup.
+
+    ``axes_for_label`` maps an *original* (pre-compaction) label to an
+    iterable of relevant axes; empty clusters vanish during compaction.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    compact = relabel_compact(labels)
+    clusters: list[SubspaceCluster] = []
+    seen: dict[int, int] = {}
+    for i, lab in enumerate(labels):
+        if lab == NOISE_LABEL or int(lab) in seen:
+            continue
+        seen[int(lab)] = int(compact[i])
+    for original, new in sorted(seen.items(), key=lambda kv: kv[1]):
+        members = np.flatnonzero(compact == new)
+        clusters.append(
+            SubspaceCluster.from_iterables(members, axes_for_label(original))
+        )
+    return ClusteringResult(labels=compact, clusters=clusters, extras=extras or {})

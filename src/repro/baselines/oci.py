@@ -1,0 +1,248 @@
+"""OCI — Outlier-robust Clustering using Independent Components (Böhm,
+Faloutsos, Plant, SIGMOD 2008; Section II of the MrCC paper).
+
+OCI is a parameter-free top-down method: it runs Independent Component
+Analysis on the current point set, models every independent direction
+with the Exponential Power Distribution (EPD, the generalised Gaussian
+``p(x) ~ exp(-|x/a|^b)``), splits the data at the strongest density
+valley among the components whose empirical distribution is clearly
+*bimodal* (not EPD-like), and recurses; points in the far tails of the
+final clusters' EPD models are filtered as outliers.
+
+Everything is built from scratch here, including FastICA (PCA
+whitening + fixed-point iteration with the ``tanh`` contrast and
+deflation) and a moment-based EPD shape fit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import special
+
+from repro.baselines.base import SubspaceClusterer
+from repro.types import NOISE_LABEL, ClusteringResult, SubspaceCluster
+
+
+def fast_ica(
+    points: np.ndarray,
+    n_components: int | None = None,
+    max_iter: int = 200,
+    tol: float = 1e-5,
+    random_state: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """FastICA with tanh contrast and deflation.
+
+    Returns ``(sources, mixing_rows)``: the independent components
+    (``n x k``) and the unmixing directions in the whitened space
+    projected back to the input space (``k x d``).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n, d = points.shape
+    k = min(n_components or d, d, max(n - 1, 1))
+    rng = np.random.default_rng(random_state)
+
+    centred = points - points.mean(axis=0)
+    cov = np.cov(centred.T)
+    cov = np.atleast_2d(cov)
+    eigenvalues, eigenvectors = np.linalg.eigh(cov)
+    order = np.argsort(eigenvalues)[::-1][:k]
+    scale = np.sqrt(np.maximum(eigenvalues[order], 1e-12))
+    whitener = (eigenvectors[:, order] / scale).T  # (k, d)
+    white = centred @ whitener.T  # (n, k)
+
+    unmixing = np.zeros((k, k))
+    for comp in range(k):
+        w = rng.normal(size=k)
+        w /= np.linalg.norm(w)
+        for _ in range(max_iter):
+            projection = white @ w
+            g = np.tanh(projection)
+            g_prime = 1.0 - g**2
+            w_new = (white * g[:, None]).mean(axis=0) - g_prime.mean() * w
+            # Deflation: stay orthogonal to the components already found.
+            for prev in range(comp):
+                w_new -= (w_new @ unmixing[prev]) * unmixing[prev]
+            norm = np.linalg.norm(w_new)
+            if norm < 1e-12:
+                w_new = rng.normal(size=k)
+                norm = np.linalg.norm(w_new)
+            w_new /= norm
+            if abs(abs(w_new @ w) - 1.0) < tol:
+                w = w_new
+                break
+            w = w_new
+        unmixing[comp] = w
+    sources = white @ unmixing.T
+    directions = unmixing @ whitener
+    return sources, directions
+
+
+def epd_shape(values: np.ndarray) -> float:
+    """Moment-matched EPD shape parameter ``b``.
+
+    Uses the classic kurtosis relation ``kurt = Γ(5/b)Γ(1/b)/Γ(3/b)^2``;
+    solved by bisection.  ``b = 2`` is Gaussian, small ``b`` heavy
+    tails, large ``b`` near-uniform.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    centred = values - values.mean()
+    variance = float(np.mean(centred**2))
+    if variance <= 0:
+        return 2.0
+    kurtosis = float(np.mean(centred**4)) / variance**2
+
+    def theoretical(b: float) -> float:
+        return float(
+            special.gamma(5.0 / b)
+            * special.gamma(1.0 / b)
+            / special.gamma(3.0 / b) ** 2
+        )
+
+    lo, hi = 0.3, 20.0
+    if kurtosis >= theoretical(lo):
+        return lo
+    if kurtosis <= theoretical(hi):
+        return hi
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if theoretical(mid) > kurtosis:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def bimodality_valley(
+    values: np.ndarray, n_bins: int = 32, mass_floor: float = 0.1
+):
+    """Locate the deepest density valley between two modes.
+
+    Returns ``(score, threshold)``: the valley's relative depth (0 when
+    the histogram is unimodal) and the cut value.  Only cuts leaving at
+    least ``mass_floor`` of the points on each side are considered, so
+    edge artefacts never masquerade as modes.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    counts, edges = np.histogram(values, bins=n_bins)
+    total = counts.sum()
+    cumulative = np.cumsum(counts)
+    smoothed = np.convolve(counts, np.ones(3) / 3.0, mode="same")
+    best_score, best_threshold = 0.0, float(np.median(values))
+    for i in range(1, n_bins - 1):
+        left_mass = cumulative[i - 1] / max(total, 1)
+        if not mass_floor <= left_mass <= 1.0 - mass_floor:
+            continue
+        left_peak = smoothed[:i].max()
+        right_peak = smoothed[i + 1 :].max()
+        peak = min(left_peak, right_peak)
+        if peak <= 0:
+            continue
+        depth = (peak - smoothed[i]) / peak
+        if depth > best_score:
+            best_score = depth
+            best_threshold = float(0.5 * (edges[i] + edges[i + 1]))
+    return best_score, best_threshold
+
+
+class OCI(SubspaceClusterer):
+    """Parameter-free top-down ICA clustering with EPD outlier filter.
+
+    Parameters (all with working defaults — OCI's selling point)
+    ----------
+    min_cluster_size:
+        Recursion floor.
+    valley_threshold:
+        Minimum relative valley depth to accept a split.
+    outlier_quantile:
+        Per-cluster EPD-tail fraction filtered as outliers.
+    random_state:
+        FastICA initialisation seed.
+    """
+
+    name = "OCI"
+
+    def __init__(
+        self,
+        min_cluster_size: int = 40,
+        valley_threshold: float = 0.35,
+        outlier_quantile: float = 0.02,
+        random_state: int = 0,
+        max_depth: int = 8,
+    ):
+        if min_cluster_size < 4:
+            raise ValueError("min_cluster_size must be at least 4")
+        if not 0.0 <= outlier_quantile < 0.5:
+            raise ValueError("outlier_quantile must be in [0, 0.5)")
+        self.min_cluster_size = int(min_cluster_size)
+        self.valley_threshold = float(valley_threshold)
+        self.outlier_quantile = float(outlier_quantile)
+        self.random_state = int(random_state)
+        self.max_depth = int(max_depth)
+
+    def _fit(self, points: np.ndarray) -> ClusteringResult:
+        n = points.shape[0]
+        leaves: list[np.ndarray] = []
+        self._split(points, np.arange(n), 0, leaves)
+
+        labels = np.full(n, NOISE_LABEL, dtype=np.int64)
+        clusters: list[SubspaceCluster] = []
+        for members in leaves:
+            kept = self._filter_outliers(points, members)
+            if kept.size < self.min_cluster_size:
+                continue
+            axes = self._tight_axes(points[kept])
+            labels[kept] = len(clusters)
+            clusters.append(SubspaceCluster.from_iterables(kept, axes))
+        return ClusteringResult(
+            labels=labels, clusters=clusters, extras={"n_leaves": len(leaves)}
+        )
+
+    def _split(self, points, members, depth, leaves) -> None:
+        """Recursively split at the strongest independent-density valley."""
+        if members.size < 2 * self.min_cluster_size or depth >= self.max_depth:
+            leaves.append(members)
+            return
+        sources, _ = fast_ica(
+            points[members], random_state=self.random_state + depth
+        )
+        best = (0.0, None, None)
+        for comp in range(sources.shape[1]):
+            score, threshold = bimodality_valley(sources[:, comp])
+            if score > best[0]:
+                best = (score, comp, threshold)
+        score, comp, threshold = best
+        if comp is None or score < self.valley_threshold:
+            leaves.append(members)
+            return
+        mask = sources[:, comp] <= threshold
+        left, right = members[mask], members[~mask]
+        if (
+            left.size < self.min_cluster_size
+            or right.size < self.min_cluster_size
+        ):
+            leaves.append(members)
+            return
+        self._split(points, left, depth + 1, leaves)
+        self._split(points, right, depth + 1, leaves)
+
+    def _filter_outliers(self, points, members) -> np.ndarray:
+        """Drop the EPD-tail fraction of the leaf along each axis."""
+        if self.outlier_quantile <= 0.0 or members.size < 8:
+            return members
+        sub = points[members]
+        score = np.zeros(members.size)
+        for axis in range(sub.shape[1]):
+            column = sub[:, axis]
+            spread = max(float(column.std()), 1e-9)
+            shape = epd_shape(column)
+            score += (np.abs(column - column.mean()) / spread) ** shape
+        cutoff = np.quantile(score, 1.0 - self.outlier_quantile)
+        return members[score <= cutoff]
+
+    @staticmethod
+    def _tight_axes(members: np.ndarray) -> set[int]:
+        """Axes tighter than the overall spread — OCI's main directions."""
+        stds = members.std(axis=0)
+        threshold = stds.mean()
+        axes = set(int(a) for a in np.flatnonzero(stds < threshold))
+        return axes or {int(np.argmin(stds))}

@@ -1,0 +1,123 @@
+"""STATPC-lite — a bounded-time approximation of STATPC (Moise &
+Sander, KDD 2008).
+
+STATPC reformulates projected clustering as extracting a reduced,
+non-redundant set of axis-parallel regions that stand out statistically.
+The paper's footnote reports that the original, tuned as suggested, did
+not finish within a week on even the smallest synthetic dataset; this
+implementation preserves the statistical *idea* at a bounded cost so
+the method can participate in extension experiments:
+
+* candidate regions grow greedily around randomly drawn anchor points,
+  one axis at a time, keeping an axis only when the region's point
+  count is significantly larger than the uniform expectation under a
+  one-sided binomial test at level ``alpha_stat``;
+* accepted regions must not be *explainable* by (i.e. mostly contained
+  in) previously accepted ones — STATPC's non-redundancy;
+* the candidate budget, not a convergence criterion, bounds the run
+  time, which is why this variant carries the ``-lite`` suffix and is
+  excluded from the headline benchmark figures (matching the paper's
+  treatment of STATPC).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.baselines.base import SubspaceClusterer
+from repro.types import NOISE_LABEL, ClusteringResult, SubspaceCluster
+
+
+class StatPCLite(SubspaceClusterer):
+    """Bounded-budget statistically-significant region search.
+
+    Parameters
+    ----------
+    alpha_stat:
+        Significance of the region test (STATPC's ``alpha_0``).
+    n_candidates:
+        Anchor points tried (the run-time budget).
+    width:
+        Region half-width per selected axis.
+    min_size:
+        Smallest acceptable region support.
+    random_state:
+        Seed for anchor draws.
+    """
+
+    name = "STATPC-lite"
+
+    def __init__(
+        self,
+        alpha_stat: float = 1e-6,
+        n_candidates: int = 60,
+        width: float = 0.08,
+        min_size: int = 10,
+        random_state: int = 0,
+    ):
+        if not 0.0 < alpha_stat < 1.0:
+            raise ValueError("alpha_stat must be in (0, 1)")
+        self.alpha_stat = float(alpha_stat)
+        self.n_candidates = int(n_candidates)
+        self.width = float(width)
+        self.min_size = int(min_size)
+        self.random_state = int(random_state)
+
+    def _fit(self, points: np.ndarray) -> ClusteringResult:
+        n, d = points.shape
+        rng = np.random.default_rng(self.random_state)
+        accepted: list[tuple[list[int], np.ndarray]] = []
+
+        for _ in range(self.n_candidates):
+            anchor = points[int(rng.integers(n))]
+            axes, mask = self._grow_region(points, anchor)
+            if not axes or int(mask.sum()) < self.min_size:
+                continue
+            if self._explained(mask, accepted):
+                continue
+            accepted.append((axes, mask))
+
+        labels = np.full(n, NOISE_LABEL, dtype=np.int64)
+        clusters: list[SubspaceCluster] = []
+        for axes, mask in sorted(accepted, key=lambda am: -int(am[1].sum())):
+            members = np.flatnonzero(mask & (labels == NOISE_LABEL))
+            if members.size < self.min_size:
+                continue
+            labels[members] = len(clusters)
+            clusters.append(SubspaceCluster.from_iterables(members, axes))
+        return ClusteringResult(
+            labels=labels, clusters=clusters, extras={"n_regions": len(accepted)}
+        )
+
+    def _grow_region(self, points: np.ndarray, anchor: np.ndarray):
+        """Add axes greedily while the region stays significant."""
+        n, d = points.shape
+        axes: list[int] = []
+        mask = np.ones(n, dtype=bool)
+        per_axis = np.abs(points - anchor) <= self.width
+        volume_factor = min(2.0 * self.width, 1.0)
+
+        order = np.argsort(-per_axis.sum(axis=0))
+        for axis in order:
+            new_mask = mask & per_axis[:, axis]
+            observed = int(new_mask.sum())
+            if observed < self.min_size:
+                continue
+            expected_p = volume_factor ** (len(axes) + 1)
+            pvalue = stats.binom.sf(observed - 1, n, min(expected_p, 1.0))
+            if pvalue < self.alpha_stat:
+                axes.append(int(axis))
+                mask = new_mask
+        return axes, mask
+
+    @staticmethod
+    def _explained(mask: np.ndarray, accepted, containment: float = 0.7) -> bool:
+        """True when an existing region already covers most of ``mask``."""
+        size = int(mask.sum())
+        if size == 0:
+            return True
+        for _, other in accepted:
+            if int((mask & other).sum()) / size >= containment:
+                return True
+        return False

@@ -1,0 +1,178 @@
+"""Command-line entry point: ``mrcc-repro`` / ``python -m repro``.
+
+Subcommands
+-----------
+``list``
+    Show the reproducible exhibits and available methods.
+``fig4``
+    MrCC sensibility sweeps (alpha and H) over the first dataset group.
+``fig5 <row>``
+    One synthetic comparison row (``fig5a-c`` .. ``fig5p-r``), or
+    ``fig5s`` (Subspaces Quality) or ``fig5t`` (real-data table).
+``demo``
+    Tiny end-to-end demonstration on a generated dataset.
+
+Every experiment accepts ``--scale`` (fraction of the paper's point
+counts; default keeps runs laptop-sized) and honours the
+``REPRO_PROFILE`` environment variable (``quick``/``full`` tuning
+grids).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.data.suites import first_group, suite_by_name
+from repro.experiments.real_data import run_real_data_table
+from repro.experiments.report import format_series, format_table
+from repro.experiments.sensibility import alpha_sweep, resolution_sweep
+from repro.experiments.synthetic_suite import (
+    FIGURE_ROWS,
+    PANEL_METRICS,
+    run_figure_row,
+    run_subspaces_quality,
+)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("Exhibits:")
+    print("  fig4          MrCC sensibility (alpha, H)")
+    for name, row in sorted(FIGURE_ROWS.items()):
+        print(f"  {name:13s} {row.description}")
+    print("  fig5s         Subspaces Quality (first group, LAC excluded)")
+    print("  fig5t         real data table (simulated KDD Cup 2008)")
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    datasets = list(first_group(scale=args.scale))
+    print("# Figure 4a-c: alpha sweep")
+    rows = alpha_sweep(datasets)
+    for metric in ("quality", "peak_kb", "seconds"):
+        print(format_series(rows, metric, line_key="dataset", column_key="alpha"))
+        print()
+    print("# Figure 4d-f: H sweep")
+    rows = resolution_sweep(datasets)
+    for metric in ("quality", "peak_kb", "seconds"):
+        print(format_series(rows, metric, line_key="dataset", column_key="H"))
+        print()
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    if args.row == "fig5s":
+        rows = run_subspaces_quality(scale=args.scale)
+        print(format_series(rows, "subspaces_quality"))
+    elif args.row == "fig5t":
+        rows = run_real_data_table(scale=args.scale)
+        print(format_table(rows, ["method", "quality", "peak_kb", "seconds"]))
+    else:
+        rows = run_figure_row(args.row, scale=args.scale)
+        for metric in PANEL_METRICS:
+            print(format_series(rows, metric))
+            print()
+    if args.save:
+        from repro.experiments.summary import save_rows_json
+
+        save_rows_json(rows, args.save)
+        print(f"rows saved to {args.save}")
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    from repro.experiments.summary import (
+        load_rows_json,
+        memory_table,
+        quality_table,
+        speedup_table,
+    )
+
+    rows: list[dict] = []
+    for path in args.rows:
+        rows.extend(load_rows_json(path))
+    print("mean Quality per method:")
+    for method, value in quality_table(rows).items():
+        print(f"  {method:8s} {value:.3f}")
+    print("\ngeometric-mean time ratio vs MrCC (x slower):")
+    for method, value in speedup_table(rows).items():
+        print(f"  {method:8s} {value:8.1f}x")
+    try:
+        memory = memory_table(rows)
+    except ValueError:
+        memory = {}
+    if memory:
+        print("\ngeometric-mean memory ratio vs MrCC:")
+        for method, value in memory.items():
+            print(f"  {method:8s} {value:8.2f}x")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import MrCC, SyntheticDatasetSpec, evaluate_clustering, generate_dataset
+
+    dataset = generate_dataset(
+        SyntheticDatasetSpec(
+            dimensionality=10, n_points=6000, n_clusters=5, seed=42
+        )
+    )
+    result = MrCC().fit(dataset.points)
+    report = evaluate_clustering(result, dataset)
+    print(f"dataset: {dataset.n_points} points, {dataset.dimensionality} axes, "
+          f"{dataset.n_clusters} hidden clusters")
+    print(f"MrCC found {result.n_clusters} clusters "
+          f"({result.extras['n_beta_clusters']} beta-clusters)")
+    print(f"Quality={report.quality:.3f}  Subspaces Quality="
+          f"{report.subspaces_quality:.3f}")
+    for k, cluster in enumerate(result.clusters):
+        axes = ",".join(str(a) for a in sorted(cluster.relevant_axes))
+        print(f"  cluster {k}: {cluster.size} points, relevant axes [{axes}]")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``mrcc-repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="mrcc-repro",
+        description="Reproduce the MrCC paper's experiments (ICDE 2010).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible exhibits").set_defaults(
+        func=_cmd_list
+    )
+
+    fig4 = sub.add_parser("fig4", help="MrCC sensibility sweeps")
+    fig4.add_argument("--scale", type=float, default=0.05)
+    fig4.set_defaults(func=_cmd_fig4)
+
+    fig5 = sub.add_parser("fig5", help="one Figure 5 exhibit")
+    fig5.add_argument(
+        "row", choices=sorted(FIGURE_ROWS) + ["fig5s", "fig5t"]
+    )
+    fig5.add_argument("--scale", type=float, default=0.05)
+    fig5.add_argument(
+        "--save", default=None, metavar="JSON",
+        help="also write the raw rows to this JSON file",
+    )
+    fig5.set_defaults(func=_cmd_fig5)
+
+    summary = sub.add_parser(
+        "summary", help="aggregate saved rows into Section IV-F averages"
+    )
+    summary.add_argument("rows", nargs="+", metavar="JSON")
+    summary.set_defaults(func=_cmd_summary)
+
+    demo = sub.add_parser("demo", help="small end-to-end demo")
+    demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

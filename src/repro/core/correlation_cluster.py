@@ -1,0 +1,125 @@
+"""Building correlation clusters from β-clusters (Section III-C, Alg. 3).
+
+β-clusters that share data space (their boxes overlap along *every*
+axis) describe the same underlying correlation cluster and are merged;
+the merge is the transitive closure of the pairwise sharing relation,
+computed with a union-find.  A correlation cluster's relevant axes are
+the union of its members' relevant axes, and its space is the union of
+their boxes.
+
+Finally the dataset is partitioned: a point belongs to the correlation
+cluster whose member box contains it (boxes of distinct correlation
+clusters are disjoint by construction, so the assignment is
+unambiguous); all remaining points are noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.beta_cluster import BetaCluster
+from repro.types import NOISE_LABEL, ClusteringResult, SubspaceCluster
+
+
+class UnionFind:
+    """Minimal union-find with path compression and union by size."""
+
+    def __init__(self, n: int):
+        self._parent = list(range(n))
+        self._size = [1] * n
+
+    def find(self, i: int) -> int:
+        """Representative of ``i``'s component."""
+        root = i
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[i] != root:
+            self._parent[i], i = root, self._parent[i]
+        return root
+
+    def union(self, i: int, j: int) -> None:
+        """Merge the components of ``i`` and ``j``."""
+        ri, rj = self.find(i), self.find(j)
+        if ri == rj:
+            return
+        if self._size[ri] < self._size[rj]:
+            ri, rj = rj, ri
+        self._parent[rj] = ri
+        self._size[ri] += self._size[rj]
+
+    def components(self) -> dict[int, list[int]]:
+        """Map each representative to its sorted member list."""
+        groups: dict[int, list[int]] = {}
+        for i in range(len(self._parent)):
+            groups.setdefault(self.find(i), []).append(i)
+        return groups
+
+
+def merge_beta_clusters(betas: list[BetaCluster]) -> list[list[int]]:
+    """Group β-cluster indices into correlation clusters (Alg. 3 lines 1-5).
+
+    Groups are ordered by their smallest member index, so correlation
+    cluster ids are stable across runs.
+    """
+    uf = UnionFind(len(betas))
+    for i in range(len(betas)):
+        for j in range(i + 1, len(betas)):
+            if betas[i].shares_space_with(betas[j]):
+                uf.union(i, j)
+    groups = sorted(uf.components().values(), key=lambda members: members[0])
+    return groups
+
+
+def label_points(
+    points: np.ndarray, betas: list[BetaCluster], groups: list[list[int]]
+) -> np.ndarray:
+    """Partition the dataset: box membership → cluster id, else noise.
+
+    Points are tested against member boxes in group order; because the
+    groups' spaces are disjoint, at most one group can claim a point.
+    """
+    labels = np.full(points.shape[0], NOISE_LABEL, dtype=np.int64)
+    unassigned = np.ones(points.shape[0], dtype=bool)
+    for cluster_id, members in enumerate(groups):
+        claimed = np.zeros(points.shape[0], dtype=bool)
+        for beta_index in members:
+            beta = betas[beta_index]
+            inside = np.all(
+                (points >= beta.lower) & (points <= beta.upper), axis=1
+            )
+            claimed |= inside
+        claimed &= unassigned
+        labels[claimed] = cluster_id
+        unassigned &= ~claimed
+    return labels
+
+
+def build_correlation_clusters(
+    points: np.ndarray, betas: list[BetaCluster]
+) -> ClusteringResult:
+    """Run Algorithm 3: merge β-clusters, define axes, label points."""
+    if not betas:
+        return ClusteringResult(
+            labels=np.full(points.shape[0], NOISE_LABEL, dtype=np.int64),
+            clusters=[],
+            extras={"n_beta_clusters": 0, "beta_clusters": []},
+        )
+    groups = merge_beta_clusters(betas)
+    labels = label_points(points, betas, groups)
+    clusters = []
+    for cluster_id, members in enumerate(groups):
+        axes: set[int] = set()
+        for beta_index in members:
+            axes.update(betas[beta_index].relevant_axes)
+        clusters.append(
+            SubspaceCluster.from_iterables(np.flatnonzero(labels == cluster_id), axes)
+        )
+    return ClusteringResult(
+        labels=labels,
+        clusters=clusters,
+        extras={
+            "n_beta_clusters": len(betas),
+            "beta_clusters": betas,
+            "groups": groups,
+        },
+    )

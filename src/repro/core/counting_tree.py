@@ -1,0 +1,237 @@
+"""The Counting-tree (Section III-A, Algorithm 1, Figure 3).
+
+The Counting-tree represents a dataset embedded in ``[0, 1)^d`` as a
+stack of hyper-grids in ``H`` resolutions.  Level ``h`` partitions each
+axis into ``2^h`` intervals of side ``1 / 2^h``; a cell stores
+
+* ``n`` — the number of points it covers,
+* ``P[j]`` — the *half-space count*: how many of those points fall in
+  the lower half of the cell along axis ``e_j``,
+* ``usedCell`` — consumed by the β-cluster search (phase two).
+
+Only non-empty cells are materialised, so each level holds at most
+``η`` cells regardless of the ``O(2^{dh})`` nominal grid size — the
+paper's "linked list of cells per node" economy.  Levels are stored
+column-wise in numpy arrays with a hash index from cell coordinates to
+rows, giving O(1) cell and face-neighbour lookup, which phase two
+depends on.
+
+Construction is a single scan in the paper; here the scan is expressed
+as vectorised numpy passes (one per level) over the same per-point
+information — each point contributes one count to every level and one
+half-space count per axis, exactly as Algorithm 1 lines 4-10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+MIN_RESOLUTIONS = 3
+"""Algorithm 1 requires ``H >= 3``."""
+
+
+def void_keys(coords: np.ndarray) -> np.ndarray:
+    """Encode coordinate rows as comparable fixed-size binary keys.
+
+    Big-endian unsigned encoding makes the bytewise comparison of the
+    void view coincide with lexicographic numeric order, so the keys
+    support ``np.searchsorted`` joins — the vectorised equivalent of a
+    per-cell hash lookup.
+    """
+    coords = np.ascontiguousarray(coords)
+    big_endian = np.ascontiguousarray(coords.astype(">u4"))
+    width = big_endian.shape[1] * big_endian.dtype.itemsize
+    return big_endian.view(np.dtype((np.void, width))).ravel()
+
+
+@dataclass
+class Level:
+    """One resolution level of the Counting-tree.
+
+    Attributes
+    ----------
+    h:
+        Level number; cells have side ``1 / 2**h``.
+    coords:
+        ``(m, d)`` integer cell coordinates (``floor(x * 2**h)``).
+    n:
+        ``(m,)`` point count per cell.
+    half_counts:
+        ``(m, d)`` half-space counts (the paper's ``P[]``).
+    used:
+        ``(m,)`` the ``usedCell`` flags.
+    """
+
+    h: int
+    coords: np.ndarray
+    n: np.ndarray
+    half_counts: np.ndarray
+    used: np.ndarray
+    _sorted_keys: np.ndarray = field(default=None, repr=False)
+    _sort_order: np.ndarray = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self._sorted_keys is None:
+            keys = void_keys(self.coords)
+            self._sort_order = np.argsort(keys)
+            self._sorted_keys = keys[self._sort_order]
+
+    @property
+    def n_cells(self) -> int:
+        """Number of non-empty cells stored at this level."""
+        return int(self.coords.shape[0])
+
+    @property
+    def side(self) -> float:
+        """Cell side length ``ξ_h = 1 / 2**h``."""
+        return 1.0 / (1 << self.h)
+
+    def row_of(self, coords: np.ndarray) -> int:
+        """Row index of the cell at ``coords``, or ``-1`` if empty."""
+        rows = self.rows_of(np.asarray(coords).reshape(1, -1))
+        return int(rows[0])
+
+    def rows_of(self, coords: np.ndarray) -> np.ndarray:
+        """Vectorised cell lookup: one row index (or -1) per query row."""
+        queries = void_keys(coords)
+        positions = np.searchsorted(self._sorted_keys, queries)
+        positions = np.minimum(positions, self._sorted_keys.shape[0] - 1)
+        found = self._sorted_keys[positions] == queries
+        rows = np.where(found, self._sort_order[positions], -1)
+        return rows.astype(np.int64)
+
+    def count_at(self, coords: np.ndarray) -> int:
+        """Point count of the cell at ``coords`` (0 for empty cells)."""
+        row = self.row_of(coords)
+        return int(self.n[row]) if row >= 0 else 0
+
+    def neighbor_rows(self, row: int, axis: int) -> tuple[int, int]:
+        """Rows of the lower/upper face neighbours along ``axis`` (-1 if empty).
+
+        Covers both the paper's *internal* and *external* neighbours:
+        the hash index does not care whether the neighbour lives in the
+        same tree node or a sibling node.
+        """
+        coords = self.coords[row].copy()
+        original = coords[axis]
+        lower = -1
+        if original > 0:
+            coords[axis] = original - 1
+            lower = self.row_of(coords)
+        upper = -1
+        if original < (1 << self.h) - 1:
+            coords[axis] = original + 1
+            upper = self.row_of(coords)
+        return lower, upper
+
+    def bounds(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        """Lower/upper bounds ``(l_j, u_j)`` of the cell in data space."""
+        lower = self.coords[row] * self.side
+        return lower, lower + self.side
+
+
+class CountingTree:
+    """Multi-resolution grid counts over a dataset in ``[0, 1)^d``.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(η, d)`` with values in ``[0, 1)``.
+    n_resolutions:
+        The paper's ``H``; levels ``1 .. H-1`` are materialised (level 0
+        is the root hyper-cube, kept implicitly).  Must be ≥ 3.
+
+    Notes
+    -----
+    Time ``O(η H d)`` and space ``O(H η d)``, matching Algorithm 1's
+    stated complexity.
+    """
+
+    def __init__(self, points: np.ndarray, n_resolutions: int = 4):
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError("points must be a 2-d array of shape (η, d)")
+        if points.shape[0] == 0:
+            raise ValueError("cannot build a Counting-tree over zero points")
+        if np.any(points < 0.0) or np.any(points >= 1.0):
+            raise ValueError("points must lie in [0, 1); normalise first")
+        if n_resolutions < MIN_RESOLUTIONS:
+            raise ValueError(f"n_resolutions must be >= {MIN_RESOLUTIONS}")
+
+        self._n_points, self._d = points.shape
+        self._H = int(n_resolutions)
+
+        # Integer coordinates at the finest half-resolution 2^H; every
+        # coarser level (and every half-space bit) is a right shift.
+        base = np.floor(points * (1 << self._H)).astype(np.int64)
+        np.clip(base, 0, (1 << self._H) - 1, out=base)
+
+        self._levels: dict[int, Level] = {}
+        for h in range(1, self._H):
+            self._levels[h] = self._build_level(base, h)
+
+    def _build_level(self, base: np.ndarray, h: int) -> Level:
+        """Aggregate per-point coordinates into one level's cell arrays."""
+        shift = self._H - h
+        coords_h = base >> shift
+        cells, inverse = np.unique(coords_h, axis=0, return_inverse=True)
+        inverse = inverse.ravel()
+        counts = np.bincount(inverse, minlength=cells.shape[0]).astype(np.int64)
+
+        # Half-space bit: the next-finer coordinate's parity along each
+        # axis; bit 0 means the point is in the lower half of this cell.
+        half_bits = (base >> (shift - 1)) & 1
+        half_counts = np.zeros((cells.shape[0], self._d), dtype=np.int64)
+        np.add.at(half_counts, inverse, (half_bits == 0).astype(np.int64))
+
+        return Level(
+            h=h,
+            coords=np.ascontiguousarray(cells),
+            n=counts,
+            half_counts=half_counts,
+            used=np.zeros(cells.shape[0], dtype=bool),
+        )
+
+    @property
+    def n_resolutions(self) -> int:
+        """The paper's ``H``."""
+        return self._H
+
+    @property
+    def dimensionality(self) -> int:
+        """Embedding dimensionality ``d``."""
+        return self._d
+
+    @property
+    def n_points(self) -> int:
+        """Number of points counted (``η``)."""
+        return self._n_points
+
+    @property
+    def levels(self) -> range:
+        """Materialised level numbers (``1 .. H-1``)."""
+        return range(1, self._H)
+
+    def level(self, h: int) -> Level:
+        """Return level ``h`` (raises ``KeyError`` for level 0 or ≥ H)."""
+        return self._levels[h]
+
+    def parent_row(self, h: int, row: int) -> int:
+        """Row index (at level ``h-1``) of the parent of cell ``row`` at level ``h``."""
+        if h <= 1:
+            raise ValueError("level-1 cells have the implicit root as parent")
+        parent_coords = self.level(h).coords[row] >> 1
+        parent = self.level(h - 1).row_of(parent_coords)
+        if parent < 0:
+            raise RuntimeError("corrupt tree: populated cell with empty parent")
+        return parent
+
+    def loc_bits(self, h: int, row: int) -> np.ndarray:
+        """The cell's relative position ``loc`` inside its parent (d bits)."""
+        return (self.level(h).coords[row] & 1).astype(np.int64)
+
+    def total_cells(self) -> int:
+        """Total number of stored cells, for memory accounting."""
+        return sum(level.n_cells for level in self._levels.values())

@@ -1,0 +1,176 @@
+"""Single-scan, chunked Counting-tree construction (out-of-core input).
+
+Algorithm 1 reads every point exactly once, which means the
+Counting-tree can be built from a *stream*: only the per-level cell
+aggregates — at most ``η`` cells per level, usually far fewer — stay in
+memory while the raw points never need to be resident at once.  This
+module implements that pattern for datasets delivered in chunks (files,
+database cursors, generators), matching the paper's "very large
+datasets" ambition.
+
+The resulting tree is bit-identical to building
+:class:`~repro.core.counting_tree.CountingTree` over the concatenated
+data, so phases two and three of MrCC run on it unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.counting_tree import MIN_RESOLUTIONS, CountingTree, Level
+from repro.types import ClusteringResult
+
+
+def build_tree_from_chunks(
+    chunks: Iterable[np.ndarray], n_resolutions: int = 4
+) -> CountingTree:
+    """Build a Counting-tree from an iterable of point chunks.
+
+    Every chunk is a ``(m_i, d)`` array with values in ``[0, 1)``; all
+    chunks must share the same dimensionality.  Aggregates are merged
+    chunk by chunk, so peak memory is one chunk plus the per-level cell
+    tables.
+    """
+    if n_resolutions < MIN_RESOLUTIONS:
+        raise ValueError(f"n_resolutions must be >= {MIN_RESOLUTIONS}")
+
+    accumulators: dict[int, dict[bytes, tuple[int, np.ndarray]]] = {
+        h: {} for h in range(1, n_resolutions)
+    }
+    d: int | None = None
+    n_points = 0
+
+    for chunk in chunks:
+        chunk = np.asarray(chunk, dtype=np.float64)
+        if chunk.ndim != 2:
+            raise ValueError("each chunk must be a 2-d array")
+        if chunk.shape[0] == 0:
+            continue
+        if d is None:
+            d = chunk.shape[1]
+        elif chunk.shape[1] != d:
+            raise ValueError("all chunks must share the same dimensionality")
+        if np.any(chunk < 0.0) or np.any(chunk >= 1.0):
+            raise ValueError("points must lie in [0, 1); normalise first")
+        n_points += chunk.shape[0]
+        _accumulate_chunk(chunk, n_resolutions, accumulators)
+
+    if d is None or n_points == 0:
+        raise ValueError("the stream delivered no points")
+
+    levels = {
+        h: _finalize_level(h, accumulators[h], d)
+        for h in range(1, n_resolutions)
+    }
+    return _tree_from_levels(levels, d, n_points, n_resolutions)
+
+
+def _accumulate_chunk(chunk, n_resolutions, accumulators) -> None:
+    """Merge one chunk's per-level counts into the accumulators."""
+    base = np.floor(chunk * (1 << n_resolutions)).astype(np.int64)
+    np.clip(base, 0, (1 << n_resolutions) - 1, out=base)
+    for h in range(1, n_resolutions):
+        shift = n_resolutions - h
+        coords = base >> shift
+        half_bits = (base >> (shift - 1)) & 1
+        cells, inverse = np.unique(coords, axis=0, return_inverse=True)
+        inverse = inverse.ravel()
+        counts = np.bincount(inverse, minlength=cells.shape[0])
+        lower = np.zeros((cells.shape[0], chunk.shape[1]), dtype=np.int64)
+        np.add.at(lower, inverse, (half_bits == 0).astype(np.int64))
+        table = accumulators[h]
+        for row in range(cells.shape[0]):
+            key = cells[row].tobytes()
+            if key in table:
+                n_old, half_old = table[key]
+                table[key] = (n_old + int(counts[row]), half_old + lower[row])
+            else:
+                table[key] = (int(counts[row]), lower[row].copy())
+
+
+def _finalize_level(h: int, table: dict, d: int) -> Level:
+    """Convert an accumulator table into a packed Level."""
+    m = len(table)
+    coords = np.empty((m, d), dtype=np.int64)
+    counts = np.empty(m, dtype=np.int64)
+    halves = np.empty((m, d), dtype=np.int64)
+    for i, (key, (n, half)) in enumerate(sorted(table.items())):
+        coords[i] = np.frombuffer(key, dtype=np.int64)
+        counts[i] = n
+        halves[i] = half
+    return Level(
+        h=h,
+        coords=coords,
+        n=counts,
+        half_counts=halves,
+        used=np.zeros(m, dtype=bool),
+    )
+
+
+def _tree_from_levels(levels, d, n_points, n_resolutions) -> CountingTree:
+    """Assemble a CountingTree around pre-built levels."""
+    tree = CountingTree.__new__(CountingTree)
+    tree._n_points = n_points
+    tree._d = d
+    tree._H = n_resolutions
+    tree._levels = levels
+    return tree
+
+
+def fit_stream(
+    chunks: Iterable[np.ndarray],
+    alpha: float = 1e-10,
+    n_resolutions: int = 4,
+) -> tuple[CountingTree, list]:
+    """Phase 1+2 of MrCC over a stream: tree plus β-clusters.
+
+    Labelling (phase 3) needs the points themselves, so callers either
+    re-scan the stream through
+    :func:`label_stream`, or work with the
+    β-cluster boxes directly.
+    """
+    from repro.core.beta_cluster import find_beta_clusters
+
+    tree = build_tree_from_chunks(chunks, n_resolutions=n_resolutions)
+    betas = find_beta_clusters(tree, alpha)
+    return tree, betas
+
+
+def label_stream(
+    chunks: Iterable[np.ndarray], betas: list
+) -> ClusteringResult:
+    """Phase 3 over a second scan: label every streamed point.
+
+    Uses the same box semantics as
+    :func:`repro.core.correlation_cluster.build_correlation_clusters`,
+    processing one chunk at a time.
+    """
+    from repro.core.correlation_cluster import label_points, merge_beta_clusters
+    from repro.types import SubspaceCluster
+
+    groups = merge_beta_clusters(betas)
+    label_parts = [
+        label_points(np.asarray(chunk, dtype=np.float64), betas, groups)
+        for chunk in chunks
+        if np.asarray(chunk).shape[0]
+    ]
+    labels = (
+        np.concatenate(label_parts) if label_parts else np.empty(0, dtype=np.int64)
+    )
+    clusters = []
+    for cluster_id, members in enumerate(groups):
+        axes: set[int] = set()
+        for beta_index in members:
+            axes.update(betas[beta_index].relevant_axes)
+        clusters.append(
+            SubspaceCluster.from_iterables(
+                np.flatnonzero(labels == cluster_id), axes
+            )
+        )
+    return ClusteringResult(
+        labels=labels,
+        clusters=clusters,
+        extras={"n_beta_clusters": len(betas), "beta_clusters": betas},
+    )

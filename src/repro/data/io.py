@@ -1,0 +1,87 @@
+"""Dataset file I/O: CSV and NPZ round-trips.
+
+Downstream users bring their own feature matrices; these helpers load
+them (with optional label columns and min-max normalisation) and save
+generated datasets — ground truth included — so experiments can be
+shared and replayed byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.normalize import minmax_normalize
+from repro.types import Dataset, SubspaceCluster
+
+
+def load_points_csv(
+    path: str | Path,
+    delimiter: str = ",",
+    skip_header: bool = True,
+    label_column: int | None = None,
+    normalize: bool = True,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Load a feature matrix (and optional label column) from CSV.
+
+    Returns ``(points, labels)``; ``labels`` is ``None`` unless
+    ``label_column`` selects one (negative indices count from the end).
+    """
+    path = Path(path)
+    rows: list[list[str]] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        for i, row in enumerate(reader):
+            if i == 0 and skip_header:
+                continue
+            if row:
+                rows.append(row)
+    if not rows:
+        raise ValueError(f"{path} holds no data rows")
+
+    raw = np.asarray(rows, dtype=object)
+    labels = None
+    if label_column is not None:
+        labels = raw[:, label_column].astype(np.int64)
+        raw = np.delete(raw, label_column % raw.shape[1], axis=1)
+    points = raw.astype(np.float64)
+    if normalize:
+        points = minmax_normalize(points)
+    return points, labels
+
+
+def save_dataset_npz(dataset: Dataset, path: str | Path) -> None:
+    """Persist a dataset with its full ground truth to ``.npz``."""
+    path = Path(path)
+    axes_arrays = [
+        np.asarray(sorted(cluster.relevant_axes), dtype=np.int64)
+        for cluster in dataset.clusters
+    ]
+    payload = {
+        "points": dataset.points,
+        "labels": dataset.labels,
+        "name": np.asarray(dataset.name),
+        "n_clusters": np.asarray(len(dataset.clusters)),
+    }
+    for k, axes in enumerate(axes_arrays):
+        payload[f"axes_{k}"] = axes
+    np.savez_compressed(path, **payload)
+
+
+def load_dataset_npz(path: str | Path) -> Dataset:
+    """Load a dataset previously saved by :func:`save_dataset_npz`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        points = archive["points"]
+        labels = archive["labels"]
+        name = str(archive["name"])
+        n_clusters = int(archive["n_clusters"])
+        clusters = [
+            SubspaceCluster.from_iterables(
+                np.flatnonzero(labels == k), archive[f"axes_{k}"]
+            )
+            for k in range(n_clusters)
+        ]
+    return Dataset(points=points, labels=labels, clusters=clusters, name=name)

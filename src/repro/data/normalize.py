@@ -1,0 +1,53 @@
+"""Normalisation helpers.
+
+The paper (Definition 1) assumes every dataset is embedded in the
+half-open unit hyper-cube ``[0, 1)^d``.  All generators and the MrCC
+front-end route raw feature matrices through
+:func:`minmax_normalize` to establish that invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_BELOW_ONE = np.nextafter(1.0, 0.0)
+"""Largest float strictly below 1.0; keeps normalised data in [0, 1)."""
+
+
+def minmax_normalize(points: np.ndarray) -> np.ndarray:
+    """Min-max normalise each axis of ``points`` into ``[0, 1)``.
+
+    Constant axes (zero range) map to 0.0.  The maximum of each axis is
+    mapped to the largest representable float below 1.0 so the result
+    honours the half-open interval of Definition 1.
+
+    Parameters
+    ----------
+    points:
+        Array of shape ``(n_points, d)``.
+
+    Returns
+    -------
+    A new float64 array of the same shape with values in ``[0, 1)``.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be a 2-d array of shape (n_points, d)")
+    if points.shape[0] == 0:
+        return points.copy()
+    lo = points.min(axis=0)
+    hi = points.max(axis=0)
+    span = hi - lo
+    safe_span = np.where(span > 0.0, span, 1.0)
+    scaled = (points - lo) / safe_span
+    scaled[:, span == 0.0] = 0.0
+    return np.clip(scaled, 0.0, _BELOW_ONE)
+
+
+def clip_unit_cube(points: np.ndarray) -> np.ndarray:
+    """Clip ``points`` into ``[0, 1)`` without rescaling.
+
+    Used by generators whose samples already target the unit cube but
+    whose Gaussian tails may stray slightly outside it.
+    """
+    return np.clip(np.asarray(points, dtype=np.float64), 0.0, _BELOW_ONE)

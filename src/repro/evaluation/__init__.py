@@ -1,0 +1,33 @@
+"""Evaluation substrate: cluster matching, Quality metrics, resources.
+
+Implements Section IV-A of the paper — most-dominant-cluster matching,
+per-pair precision/recall (Eqs. 1 and 2), the point-set ``Quality`` and
+axis-set ``Subspaces Quality`` harmonic means — plus the wall-clock /
+peak-memory measurement harness that backs the paper's time and KB
+series.
+"""
+
+from repro.evaluation.matching import dominant_found, dominant_real, overlap_matrix
+from repro.evaluation.quality import (
+    EvaluationReport,
+    evaluate_clustering,
+    precision,
+    quality,
+    recall,
+    subspaces_quality,
+)
+from repro.evaluation.resources import Measurement, measure
+
+__all__ = [
+    "overlap_matrix",
+    "dominant_real",
+    "dominant_found",
+    "precision",
+    "recall",
+    "quality",
+    "subspaces_quality",
+    "evaluate_clustering",
+    "EvaluationReport",
+    "Measurement",
+    "measure",
+]

@@ -1,0 +1,60 @@
+"""Wall-clock and peak-memory measurement (the paper's seconds/KB axes).
+
+The paper reports, per method and dataset, the run time in seconds and
+the memory consumption in KB.  :func:`measure` wraps a callable with a
+``time.perf_counter`` clock and a ``tracemalloc`` peak-allocation probe
+so every experiment driver reports the same two series.
+
+``tracemalloc`` tracks Python-level allocations (including numpy buffer
+allocations routed through the CPython allocator), which is the right
+proxy for the paper's working-set comparison: all methods run in the
+same interpreter, so relative magnitudes are meaningful even though
+absolute KB differ from the authors' C/Java binaries.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Outcome of a measured call."""
+
+    value: Any
+    seconds: float
+    peak_kb: float
+
+    def as_row(self) -> dict:
+        """Flatten into a dict suitable for tabular reporting."""
+        return {"seconds": self.seconds, "peak_kb": self.peak_kb}
+
+
+def measure(fn: Callable[[], Any], track_memory: bool = True) -> Measurement:
+    """Run ``fn`` once, returning its value plus seconds and peak KB.
+
+    When ``track_memory`` is false the tracemalloc probe is skipped
+    (tracing slows allocation-heavy code down noticeably, so timing
+    benchmarks disable it and measure memory in a separate pass).
+    """
+    if not track_memory:
+        start = time.perf_counter()
+        value = fn()
+        return Measurement(value=value, seconds=time.perf_counter() - start, peak_kb=0.0)
+
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    start = time.perf_counter()
+    try:
+        value = fn()
+        seconds = time.perf_counter() - start
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not was_tracing:
+            tracemalloc.stop()
+    return Measurement(value=value, seconds=seconds, peak_kb=peak / 1024.0)

@@ -1,0 +1,35 @@
+"""Experiment drivers reproducing every exhibit of Section IV.
+
+* :mod:`repro.experiments.config` — method registry and the per-method
+  tuning grids of Section IV-E (the paper reports, per method and
+  dataset, the best Quality over all tried configurations).
+* :mod:`repro.experiments.runner` — run a method (with tuning) on a
+  dataset, measuring Quality, Subspaces Quality, seconds and peak KB.
+* :mod:`repro.experiments.sensibility` — Figure 4 (MrCC vs α and H).
+* :mod:`repro.experiments.synthetic_suite` — Figure 5a-r sweeps.
+* :mod:`repro.experiments.real_data` — Figure 5t (KDD Cup 2008 table).
+* :mod:`repro.experiments.report` — fixed-width table/series printing.
+"""
+
+from repro.experiments.config import (
+    HEADLINE_METHODS,
+    MethodSpec,
+    method_registry,
+)
+from repro.experiments.real_data import run_real_data_table
+from repro.experiments.report import format_series, format_table
+from repro.experiments.runner import run_method_on_dataset, run_suite
+from repro.experiments.sensibility import alpha_sweep, resolution_sweep
+
+__all__ = [
+    "MethodSpec",
+    "method_registry",
+    "HEADLINE_METHODS",
+    "run_method_on_dataset",
+    "run_suite",
+    "alpha_sweep",
+    "resolution_sweep",
+    "run_real_data_table",
+    "format_table",
+    "format_series",
+]

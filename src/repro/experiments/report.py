@@ -1,0 +1,84 @@
+"""Fixed-width reporting of experiment rows.
+
+The benchmark harness prints, for every reproduced exhibit, the same
+rows/series the paper plots: one line per (dataset, method) with
+Quality, Subspaces Quality, seconds and KB, plus per-metric series
+tables (datasets as columns, methods as lines) that mirror the figure
+panels.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Render rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = columns or [k for k in rows[0] if k != "params"]
+    widths = {c: len(c) for c in columns}
+    rendered = []
+    for row in rows:
+        cells = {c: _fmt(row.get(c, "")) for c in columns}
+        for c in columns:
+            widths[c] = max(widths[c], len(cells[c]))
+        rendered.append(cells)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines = [header, "  ".join("-" * widths[c] for c in columns)]
+    for cells in rendered:
+        lines.append("  ".join(cells[c].ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def format_series(
+    rows: list[dict],
+    metric: str,
+    line_key: str = "method",
+    column_key: str = "dataset",
+) -> str:
+    """Pivot rows into one figure panel: lines x columns of ``metric``."""
+    columns: "OrderedDict[str, None]" = OrderedDict()
+    lines: "OrderedDict[str, dict]" = OrderedDict()
+    for row in rows:
+        column = str(row[column_key])
+        line = str(row[line_key])
+        columns.setdefault(column, None)
+        lines.setdefault(line, {})[column] = row.get(metric)
+
+    column_names = list(columns)
+    width_line = max([len(line_key)] + [len(name) for name in lines])
+    widths = [
+        max(len(c), *(len(_fmt(values.get(c, ""))) for values in lines.values()))
+        for c in column_names
+    ]
+    out = [
+        f"[{metric}]",
+        "  ".join(
+            [line_key.ljust(width_line)]
+            + [c.rjust(w) for c, w in zip(column_names, widths)]
+        ),
+    ]
+    for name, values in lines.items():
+        out.append(
+            "  ".join(
+                [name.ljust(width_line)]
+                + [
+                    _fmt(values.get(c, "")).rjust(w)
+                    for c, w in zip(column_names, widths)
+                ]
+            )
+        )
+    return "\n".join(out)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)

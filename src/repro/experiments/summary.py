@@ -1,0 +1,98 @@
+"""Aggregate speedup/memory summaries (the Section IV-F averages).
+
+The paper condenses its sweeps into headline averages — "MrCC was the
+fastest among all methods tested, being in average 4.1, 9.8, 10.3, 219
+and 1,422 times faster than CFPC, EPCH, LAC, P3C and HARP respectively"
+— and an analogous memory ranking.  These helpers compute the same
+aggregates from any collection of experiment rows, and serialise row
+collections to JSON for archival.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+
+def speedup_table(rows: list[dict], base_method: str = "MrCC") -> dict[str, float]:
+    """Geometric-mean time ratio of every method against ``base_method``.
+
+    Only (method, dataset) pairs where both the method and the base ran
+    contribute; the geometric mean matches the paper's multiplicative
+    "times faster" phrasing.
+    """
+    base = {
+        row["dataset"]: row["seconds"]
+        for row in rows
+        if row["method"] == base_method
+    }
+    if not base:
+        raise ValueError(f"no rows for base method {base_method!r}")
+    ratios: dict[str, list[float]] = {}
+    for row in rows:
+        method = row["method"]
+        if method == base_method or row["dataset"] not in base:
+            continue
+        denominator = max(base[row["dataset"]], 1e-12)
+        ratios.setdefault(method, []).append(row["seconds"] / denominator)
+    return {
+        method: float(np.exp(np.mean(np.log(np.maximum(values, 1e-12)))))
+        for method, values in sorted(ratios.items())
+    }
+
+
+def memory_table(rows: list[dict], base_method: str = "MrCC") -> dict[str, float]:
+    """Geometric-mean peak-memory ratio against ``base_method``."""
+    base = {
+        row["dataset"]: row["peak_kb"]
+        for row in rows
+        if row["method"] == base_method and row["peak_kb"] > 0
+    }
+    if not base:
+        raise ValueError(f"no memory rows for base method {base_method!r}")
+    ratios: dict[str, list[float]] = {}
+    for row in rows:
+        method = row["method"]
+        if method == base_method or row["dataset"] not in base:
+            continue
+        if row["peak_kb"] <= 0:
+            continue
+        ratios.setdefault(method, []).append(row["peak_kb"] / base[row["dataset"]])
+    return {
+        method: float(np.exp(np.mean(np.log(np.maximum(values, 1e-12)))))
+        for method, values in sorted(ratios.items())
+    }
+
+
+def quality_table(rows: list[dict]) -> dict[str, float]:
+    """Mean Quality per method over all datasets in ``rows``."""
+    totals: dict[str, list[float]] = {}
+    for row in rows:
+        totals.setdefault(row["method"], []).append(row["quality"])
+    return {
+        method: float(np.mean(values)) for method, values in sorted(totals.items())
+    }
+
+
+def save_rows_json(rows: list[dict], path: str | Path) -> None:
+    """Serialise experiment rows (params included) to pretty JSON."""
+    path = Path(path)
+    serialisable = [
+        {key: _jsonable(value) for key, value in row.items()} for row in rows
+    ]
+    path.write_text(json.dumps(serialisable, indent=2, sort_keys=True) + "\n")
+
+
+def load_rows_json(path: str | Path) -> list[dict]:
+    """Load rows previously written by :func:`save_rows_json`."""
+    return json.loads(Path(path).read_text())
+
+
+def _jsonable(value):
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    return value

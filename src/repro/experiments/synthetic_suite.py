@@ -1,0 +1,68 @@
+"""Figure 5a-s — the synthetic comparison sweeps.
+
+One entry per figure row, mapping the exhibit to its dataset suite and
+the metric of each panel.  The drivers return tidy rows (via
+:func:`repro.experiments.runner.run_suite`) which the benchmarks print
+as the figure's three panels (Quality, memory KB, run-time seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.suites import suite_by_name
+from repro.experiments.config import HEADLINE_METHODS
+from repro.experiments.runner import run_suite
+
+PANEL_METRICS = ("quality", "peak_kb", "seconds")
+"""The three panels of every Figure 5 row, in the paper's order."""
+
+
+@dataclass(frozen=True)
+class FigureRow:
+    """One row of Figure 5: a dataset suite swept by all methods."""
+
+    figure: str
+    suite: str
+    description: str
+
+
+FIGURE_ROWS = {
+    "fig5a-c": FigureRow("fig5a-c", "first_group", "first group (6d..18d)"),
+    "fig5d-f": FigureRow("fig5d-f", "noise", "percent of noise (5o..25o)"),
+    "fig5g-i": FigureRow("fig5g-i", "points", "number of points (50k..250k)"),
+    "fig5j-l": FigureRow("fig5j-l", "clusters", "number of clusters (5c..25c)"),
+    "fig5m-o": FigureRow(
+        "fig5m-o", "dimensionality", "dimensionality (5d_s..30d_s)"
+    ),
+    "fig5p-r": FigureRow("fig5p-r", "rotated", "rotated datasets (6d_r..18d_r)"),
+}
+
+
+def run_figure_row(
+    figure: str,
+    scale: float = 0.05,
+    methods: tuple[str, ...] = HEADLINE_METHODS,
+    profile: str | None = None,
+) -> list[dict]:
+    """Run one Figure 5 row and return its rows."""
+    try:
+        row = FIGURE_ROWS[figure]
+    except KeyError:
+        valid = ", ".join(sorted(FIGURE_ROWS))
+        raise ValueError(f"unknown figure {figure!r}; expected one of: {valid}") from None
+    datasets = suite_by_name(row.suite, scale=scale)
+    return run_suite(datasets, methods=methods, profile=profile)
+
+
+def run_subspaces_quality(
+    scale: float = 0.05, profile: str | None = None
+) -> list[dict]:
+    """Figure 5s: Subspaces Quality over the first group, LAC excluded.
+
+    LAC only weights axes instead of selecting them, so the paper drops
+    it from this comparison.
+    """
+    methods = tuple(m for m in HEADLINE_METHODS if m != "LAC")
+    datasets = suite_by_name("first_group", scale=scale)
+    return run_suite(datasets, methods=methods, profile=profile)

@@ -1,0 +1,15 @@
+"""Preprocessing front-end for very high-dimensional data.
+
+MrCC targets 5 to 30 axes; the paper prescribes the workflow for wider
+data (Section I): "if a dataset has more than 30 or so dimensions, it
+is possible to apply some distance preserving dimensionality reduction
+or feature selection algorithm, such as PCA or FDR, and then apply
+MrCC".  This package implements both reducers from scratch and a
+pipeline that applies them automatically.
+"""
+
+from repro.preprocessing.fdr import FractalDimensionReducer
+from repro.preprocessing.pca import PCA
+from repro.preprocessing.pipeline import HighDimPipeline
+
+__all__ = ["PCA", "FractalDimensionReducer", "HighDimPipeline"]

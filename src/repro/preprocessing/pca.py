@@ -1,0 +1,85 @@
+"""Principal Component Analysis (feature extraction, Section I).
+
+A from-scratch PCA on top of ``numpy.linalg.svd``: centre the data,
+factor it, keep the leading components.  Distance-preserving in the
+sense the paper needs — the projection is orthonormal, so inter-point
+distances within the kept subspace are unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PCA:
+    """Linear projection onto the top principal components.
+
+    Parameters
+    ----------
+    n_components:
+        Components to keep; alternatively a float in ``(0, 1)`` keeps
+        the smallest number of components explaining that fraction of
+        the variance.
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    ``components_`` — ``(k, d)`` orthonormal rows;
+    ``explained_variance_ratio_`` — per-component variance share;
+    ``mean_`` — the training mean removed before projection.
+    """
+
+    def __init__(self, n_components: int | float = 0.95):
+        if isinstance(n_components, float):
+            if not 0.0 < n_components <= 1.0:
+                raise ValueError("fractional n_components must be in (0, 1]")
+        elif n_components < 1:
+            raise ValueError("n_components must be positive")
+        self.n_components = n_components
+        self.components_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+        self.mean_: np.ndarray | None = None
+
+    def fit(self, points: np.ndarray) -> "PCA":
+        """Learn the projection from ``points`` of shape ``(n, d)``."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] < 2:
+            raise ValueError("PCA needs a 2-d array with at least two rows")
+        self.mean_ = points.mean(axis=0)
+        centred = points - self.mean_
+        _, singular_values, vt = np.linalg.svd(centred, full_matrices=False)
+        variances = singular_values**2
+        total = variances.sum()
+        ratios = variances / total if total > 0 else np.zeros_like(variances)
+
+        if isinstance(self.n_components, float):
+            cumulative = np.cumsum(ratios)
+            k = int(np.searchsorted(cumulative, self.n_components) + 1)
+        else:
+            k = min(int(self.n_components), vt.shape[0])
+        self.components_ = vt[:k]
+        self.explained_variance_ratio_ = ratios[:k]
+        return self
+
+    def transform(self, points: np.ndarray) -> np.ndarray:
+        """Project ``points`` onto the learned components."""
+        if self.components_ is None:
+            raise RuntimeError("PCA must be fitted before transform")
+        points = np.asarray(points, dtype=np.float64)
+        return (points - self.mean_) @ self.components_.T
+
+    def fit_transform(self, points: np.ndarray) -> np.ndarray:
+        """Fit on ``points`` and return their projection."""
+        return self.fit(points).transform(points)
+
+    def inverse_transform(self, projected: np.ndarray) -> np.ndarray:
+        """Map projected points back into the original space."""
+        if self.components_ is None:
+            raise RuntimeError("PCA must be fitted before inverse_transform")
+        return np.asarray(projected) @ self.components_ + self.mean_
+
+    @property
+    def n_components_(self) -> int:
+        """Number of components actually kept."""
+        if self.components_ is None:
+            raise RuntimeError("PCA must be fitted first")
+        return int(self.components_.shape[0])

@@ -1,0 +1,56 @@
+"""Shared fixtures: small, fast datasets with known structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticDatasetSpec, generate_dataset
+
+
+@pytest.fixture(scope="session")
+def easy_dataset():
+    """5 axes, 3 well-separated clusters, mild noise — every method
+    should do reasonably here."""
+    return generate_dataset(
+        SyntheticDatasetSpec(
+            dimensionality=5,
+            n_points=1500,
+            n_clusters=3,
+            noise_fraction=0.1,
+            min_cluster_dim=3,
+            max_cluster_dim=4,
+            min_irrelevant=1,
+            max_irrelevant=2,
+            seed=14,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_dataset():
+    """10 axes, 5 clusters, 15 % noise — the MrCC happy path."""
+    return generate_dataset(
+        SyntheticDatasetSpec(
+            dimensionality=10,
+            n_points=4000,
+            n_clusters=5,
+            noise_fraction=0.15,
+            max_irrelevant=3,
+            seed=7,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def single_cluster_points():
+    """One tight 2-axis cluster over 5 axes plus uniform noise."""
+    rng = np.random.default_rng(0)
+    cluster = rng.uniform(0.0, 1.0, size=(600, 5))
+    cluster[:, 1] = rng.normal(0.35, 0.01, size=600)
+    cluster[:, 3] = rng.normal(0.62, 0.01, size=600)
+    noise = rng.uniform(0.0, 1.0, size=(200, 5))
+    points = np.clip(np.vstack([cluster, noise]), 0.0, np.nextafter(1.0, 0.0))
+    labels = np.concatenate([np.zeros(600, dtype=np.int64),
+                             np.full(200, -1, dtype=np.int64)])
+    return points, labels

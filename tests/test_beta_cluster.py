@@ -1,0 +1,130 @@
+"""Tests for the β-cluster search (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.beta_cluster import BetaCluster, find_beta_clusters
+from repro.core.counting_tree import CountingTree
+
+
+def _tree(points, H=4):
+    return CountingTree(np.asarray(points, dtype=np.float64), n_resolutions=H)
+
+
+def _planted(rng, n, d, axes, means, std=0.01):
+    points = rng.uniform(0, 1, size=(n, d))
+    for axis, mean in zip(axes, means):
+        points[:, axis] = rng.normal(mean, std, size=n)
+    return points
+
+
+class TestBetaClusterRecord:
+    def test_relevant_axes_from_mask(self):
+        beta = BetaCluster(
+            lower=np.zeros(3),
+            upper=np.ones(3),
+            relevant=np.array([True, False, True]),
+            level=2,
+            center_row=0,
+            relevances=np.array([80.0, 15.0, 70.0]),
+        )
+        assert beta.relevant_axes == frozenset({0, 2})
+
+    def test_shares_space_requires_positive_overlap(self):
+        a = BetaCluster(
+            np.array([0.0, 0.0]), np.array([0.5, 1.0]),
+            np.array([True, False]), 2, 0, np.zeros(2),
+        )
+        touching = BetaCluster(
+            np.array([0.5, 0.0]), np.array([0.75, 1.0]),
+            np.array([True, False]), 2, 1, np.zeros(2),
+        )
+        overlapping = BetaCluster(
+            np.array([0.4, 0.0]), np.array([0.75, 1.0]),
+            np.array([True, False]), 2, 2, np.zeros(2),
+        )
+        assert not a.shares_space_with(touching)
+        assert a.shares_space_with(overlapping)
+        assert overlapping.shares_space_with(a)
+
+
+class TestFindBetaClusters:
+    def test_single_planted_cluster_found(self, single_cluster_points):
+        points, _ = single_cluster_points
+        tree = _tree(points)
+        betas = find_beta_clusters(tree, alpha=1e-10)
+        assert len(betas) >= 1
+        # The strongest beta-cluster pins the two planted axes.
+        assert {1, 3} <= betas[0].relevant_axes
+
+    def test_bounds_cover_cluster_mass(self, single_cluster_points):
+        points, labels = single_cluster_points
+        tree = _tree(points)
+        beta = find_beta_clusters(tree, alpha=1e-10)[0]
+        members = points[labels == 0]
+        inside = np.all(
+            (members >= beta.lower) & (members <= beta.upper), axis=1
+        )
+        assert inside.mean() > 0.9
+
+    def test_irrelevant_axes_span_unit_interval(self, single_cluster_points):
+        points, _ = single_cluster_points
+        beta = find_beta_clusters(_tree(points), alpha=1e-10)[0]
+        for axis in range(points.shape[1]):
+            if axis not in beta.relevant_axes:
+                assert beta.lower[axis] == 0.0
+                assert beta.upper[axis] == 1.0
+
+    def test_uniform_noise_yields_nothing(self):
+        rng = np.random.default_rng(123)
+        points = rng.uniform(0, 1, size=(3000, 4))
+        betas = find_beta_clusters(_tree(points), alpha=1e-10)
+        assert betas == []
+
+    def test_two_separated_clusters(self):
+        rng = np.random.default_rng(5)
+        a = _planted(rng, 500, 6, axes=(0, 1, 2), means=(0.2, 0.2, 0.2))
+        b = _planted(rng, 500, 6, axes=(0, 1, 2), means=(0.8, 0.8, 0.8))
+        noise = rng.uniform(0, 1, size=(200, 6))
+        points = np.clip(np.vstack([a, b, noise]), 0, np.nextafter(1.0, 0))
+        betas = find_beta_clusters(_tree(points), alpha=1e-10)
+        assert len(betas) >= 2
+        # The two strongest finds must not share space.
+        assert not betas[0].shares_space_with(betas[1])
+
+    def test_max_beta_clusters_cap(self):
+        rng = np.random.default_rng(5)
+        a = _planted(rng, 500, 6, axes=(0, 1, 2), means=(0.2, 0.2, 0.2))
+        b = _planted(rng, 500, 6, axes=(0, 1, 2), means=(0.8, 0.8, 0.8))
+        points = np.clip(np.vstack([a, b]), 0, np.nextafter(1.0, 0))
+        betas = find_beta_clusters(_tree(points), alpha=1e-10, max_beta_clusters=1)
+        assert len(betas) == 1
+
+    def test_alpha_gates_discovery(self):
+        """A weak density bump passes a lax test but not a strict one."""
+        rng = np.random.default_rng(11)
+        bump = _planted(rng, 40, 4, axes=(0,), means=(0.3,), std=0.02)
+        noise = rng.uniform(0, 1, size=(400, 4))
+        points = np.clip(np.vstack([bump, noise]), 0, np.nextafter(1.0, 0))
+        lax = find_beta_clusters(_tree(points), alpha=1e-2)
+        strict = find_beta_clusters(_tree(points), alpha=1e-40)
+        assert len(lax) >= len(strict)
+
+    def test_deterministic(self, single_cluster_points):
+        points, _ = single_cluster_points
+        a = find_beta_clusters(_tree(points), alpha=1e-10)
+        b = find_beta_clusters(_tree(points), alpha=1e-10)
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.lower, y.lower)
+            assert np.array_equal(x.upper, y.upper)
+            assert np.array_equal(x.relevant, y.relevant)
+
+    def test_relevances_recorded(self, single_cluster_points):
+        points, _ = single_cluster_points
+        beta = find_beta_clusters(_tree(points), alpha=1e-10)[0]
+        assert beta.relevances.shape == (points.shape[1],)
+        planted = sorted({1, 3} & beta.relevant_axes)
+        others = [j for j in range(points.shape[1]) if j not in beta.relevant_axes]
+        if planted and others:
+            assert beta.relevances[planted].min() > beta.relevances[others].max()

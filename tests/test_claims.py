@@ -1,0 +1,96 @@
+"""Integration tests for the paper's headline claims (Sections I, IV-F, V).
+
+These run the real pipeline at a reduced scale and check the *shape* of
+each claim; the benchmark modules re-check them at larger sizes.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines import HARP, P3C
+from repro.core.mrcc import MrCC
+from repro.data.suites import base_14d, first_group
+from repro.evaluation.quality import evaluate_clustering
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def dataset_14d():
+    return base_14d(scale=SCALE)
+
+
+class TestHeadlineClaims:
+    def test_high_quality_across_first_group(self):
+        """Claim (d): accurate — Quality stays high over the whole
+        first group."""
+        qualities = []
+        for dataset in first_group(scale=SCALE):
+            result = MrCC(normalize=False).fit(dataset.points)
+            qualities.append(evaluate_clustering(result, dataset).quality)
+        assert np.median(qualities) > 0.8
+        assert min(qualities) > 0.6
+
+    def test_faster_than_quadratic_competitors(self, dataset_14d):
+        """Claim: MrCC outperforms the related work in execution time;
+        the slowest competitors are orders of magnitude behind."""
+        start = time.perf_counter()
+        MrCC(normalize=False).fit(dataset_14d.points)
+        mrcc_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        HARP(
+            n_clusters=dataset_14d.n_clusters,
+            max_noise_percent=dataset_14d.noise_fraction,
+        ).fit(dataset_14d.points)
+        harp_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        P3C().fit(dataset_14d.points)
+        p3c_seconds = time.perf_counter() - start
+
+        assert harp_seconds > 5.0 * mrcc_seconds
+        assert p3c_seconds > mrcc_seconds
+
+    def test_linear_time_in_points(self):
+        """Claim (b): linear running time in the number of points."""
+        small = base_14d(scale=SCALE)
+        big = base_14d(scale=4 * SCALE)
+
+        def timed(dataset):
+            start = time.perf_counter()
+            MrCC(normalize=False).fit(dataset.points)
+            return time.perf_counter() - start
+
+        t_small = min(timed(small) for _ in range(2))
+        t_big = min(timed(big) for _ in range(2))
+        ratio = t_big / max(t_small, 1e-9)
+        # 4x the points must cost clearly less than the quadratic 16x.
+        assert ratio < 12.0
+
+    def test_deterministic_without_cluster_count(self, dataset_14d):
+        """Claim (d): deterministic; no number-of-clusters parameter."""
+        a = MrCC(normalize=False).fit(dataset_14d.points)
+        b = MrCC(normalize=False).fit(dataset_14d.points)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.n_clusters >= dataset_14d.n_clusters - 3
+
+    def test_beta_cluster_count_bounded(self, dataset_14d):
+        """Section IV-F: at most 33 β-clusters were ever found for at
+        most 25 real clusters — β_k tracks the real cluster count."""
+        result = MrCC(normalize=False).fit(dataset_14d.points)
+        assert result.extras["n_beta_clusters"] <= 2 * dataset_14d.n_clusters
+
+    def test_memory_linear_in_resolutions(self, dataset_14d):
+        """Claim: memory linear in H (Figure 4e)."""
+        tree_sizes = []
+        for h in (4, 6, 8):
+            model = MrCC(normalize=False, n_resolutions=h)
+            model.fit(dataset_14d.points)
+            tree_sizes.append(model.tree_.total_cells())
+        # Cell counts grow, but by far less than the 2^(dH) worst case
+        # (each level stores at most eta cells).
+        assert tree_sizes[0] < tree_sizes[1] < tree_sizes[2]
+        assert tree_sizes[2] <= (8 - 1) * dataset_14d.n_points

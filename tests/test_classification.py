@@ -1,0 +1,74 @@
+"""Tests for the class-label evaluation (real-data protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.classification import (
+    evaluate_against_classes,
+    majority_class_labels,
+)
+from repro.types import ClusteringResult
+
+
+def _result(labels, axes_per_cluster):
+    return ClusteringResult.from_labels(labels, axes_per_cluster)
+
+
+class TestMajorityLabels:
+    def test_clusters_predict_their_majority_class(self):
+        result = _result([0, 0, 0, 1, 1, -1], [[0], [0]])
+        classes = np.array([1, 1, 0, 0, 0, 0])
+        predictions = majority_class_labels(result, classes)
+        assert predictions[:3].tolist() == [1, 1, 1]
+        assert predictions[3:5].tolist() == [0, 0]
+
+    def test_noise_predicts_global_majority(self):
+        result = _result([-1, -1, 0, 0], [[0]])
+        classes = np.array([1, 1, 0, 0])
+        predictions = majority_class_labels(result, classes)
+        # Global majority is a tie broken to the first class value.
+        assert predictions[0] == predictions[1]
+
+
+class TestEvaluateAgainstClasses:
+    def test_perfect_detector(self):
+        result = _result([0, 0, 1, 1], [[0], [1]])
+        classes = np.array([0, 0, 1, 1])
+        report = evaluate_against_classes(result, classes)
+        assert report.purity == 1.0
+        assert report.clustering_error == 0.0
+        assert report.f1[0] == 1.0
+        assert report.f1[1] == 1.0
+
+    def test_mixed_cluster_loses_purity(self):
+        result = _result([0, 0, 0, 0], [[0]])
+        classes = np.array([0, 0, 0, 1])
+        report = evaluate_against_classes(result, classes)
+        assert report.purity == pytest.approx(0.75)
+        assert report.recall[1] == 0.0
+
+    def test_no_clusters_scores_zero_purity(self):
+        result = _result([-1, -1], [])
+        classes = np.array([0, 1])
+        report = evaluate_against_classes(result, classes)
+        assert report.purity == 0.0
+        assert 0.0 <= report.clustering_error <= 1.0
+
+    def test_as_row_flattens(self):
+        result = _result([0, 0], [[0]])
+        report = evaluate_against_classes(result, np.array([0, 0]))
+        row = report.as_row()
+        assert "purity" in row
+        assert "f1_0" in row
+
+    def test_detector_on_kddcup_sim(self):
+        """End-to-end: MrCC's clusters induce a strong ROI classifier
+        on the simulated screening data."""
+        from repro.core.mrcc import MrCC
+        from repro.data.kddcup2008 import KddCup2008Spec, kddcup2008_split
+
+        dataset = kddcup2008_split("left", "MLO", KddCup2008Spec(scale=0.05))
+        result = MrCC(normalize=False).fit(dataset.points)
+        report = evaluate_against_classes(result, dataset.labels)
+        assert report.purity > 0.9
+        assert report.f1[1] > 0.7  # malignant class recovered

@@ -1,0 +1,50 @@
+"""Tests for the ``mrcc-repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig5_validates_row(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "fig99"])
+
+    def test_scale_option(self):
+        args = build_parser().parse_args(["fig5", "fig5a-c", "--scale", "0.2"])
+        assert args.scale == 0.2
+
+
+class TestCommands:
+    def test_list_prints_exhibits(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "fig5t" in out
+        assert "rotated" in out
+
+    def test_demo_runs_end_to_end(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "MrCC found" in out
+        assert "Quality=" in out
+
+    def test_fig5s_small_scale(self, capsys):
+        assert main(["fig5", "fig5s", "--scale", "0.008"]) == 0
+        out = capsys.readouterr().out
+        assert "[subspaces_quality]" in out
+        assert "LAC" not in out
+
+    def test_save_and_summary_round_trip(self, capsys, tmp_path):
+        path = tmp_path / "rows.json"
+        assert main(["fig5", "fig5t", "--scale", "0.02", "--save", str(path)]) == 0
+        capsys.readouterr()
+        assert path.exists()
+        assert main(["summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "mean Quality per method" in out
+        assert "MrCC" in out

@@ -1,0 +1,143 @@
+"""Tests for correlation-cluster assembly (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.beta_cluster import BetaCluster
+from repro.core.correlation_cluster import (
+    UnionFind,
+    build_correlation_clusters,
+    label_points,
+    merge_beta_clusters,
+)
+from repro.types import NOISE_LABEL
+
+
+def _beta(lower, upper, relevant, idx=0):
+    lower = np.asarray(lower, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    return BetaCluster(
+        lower=lower,
+        upper=upper,
+        relevant=np.asarray(relevant, dtype=bool),
+        level=2,
+        center_row=idx,
+        relevances=np.zeros(lower.shape[0]),
+    )
+
+
+class TestUnionFind:
+    def test_singletons_initially(self):
+        uf = UnionFind(3)
+        assert len(uf.components()) == 3
+
+    def test_union_and_find(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        assert uf.find(0) == uf.find(1)
+        assert uf.find(2) == uf.find(3)
+        assert uf.find(0) != uf.find(2)
+
+    def test_transitive_closure(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(3, 4)
+        components = sorted(sorted(m) for m in uf.components().values())
+        assert components == [[0, 1, 2], [3, 4]]
+
+    def test_idempotent_union(self):
+        uf = UnionFind(2)
+        uf.union(0, 1)
+        uf.union(0, 1)
+        assert len(uf.components()) == 1
+
+
+class TestMergeBetaClusters:
+    def test_overlapping_boxes_merge(self):
+        a = _beta([0.0, 0.0], [0.5, 1.0], [True, False])
+        b = _beta([0.4, 0.0], [0.8, 1.0], [True, False])
+        assert merge_beta_clusters([a, b]) == [[0, 1]]
+
+    def test_disjoint_boxes_stay_apart(self):
+        a = _beta([0.0, 0.0], [0.3, 1.0], [True, False])
+        b = _beta([0.6, 0.0], [0.9, 1.0], [True, False])
+        assert merge_beta_clusters([a, b]) == [[0], [1]]
+
+    def test_chain_merging(self):
+        a = _beta([0.0, 0.0], [0.4, 1.0], [True, False])
+        b = _beta([0.3, 0.0], [0.6, 1.0], [True, False])
+        c = _beta([0.5, 0.0], [0.9, 1.0], [True, False])
+        assert merge_beta_clusters([a, b, c]) == [[0, 1, 2]]
+
+    def test_group_order_is_stable(self):
+        a = _beta([0.6, 0.0], [0.9, 1.0], [True, False])
+        b = _beta([0.0, 0.0], [0.3, 1.0], [True, False])
+        groups = merge_beta_clusters([a, b])
+        assert groups == [[0], [1]]
+
+
+class TestLabelPoints:
+    def test_points_inside_boxes_get_group_labels(self):
+        betas = [
+            _beta([0.0, 0.0], [0.3, 1.0], [True, False]),
+            _beta([0.6, 0.0], [0.9, 1.0], [True, False]),
+        ]
+        groups = [[0], [1]]
+        points = np.array([[0.1, 0.5], [0.7, 0.5], [0.45, 0.5]])
+        labels = label_points(points, betas, groups)
+        assert labels.tolist() == [0, 1, NOISE_LABEL]
+
+    def test_merged_group_shares_one_label(self):
+        betas = [
+            _beta([0.0, 0.0], [0.4, 1.0], [True, False]),
+            _beta([0.3, 0.0], [0.7, 1.0], [True, False]),
+        ]
+        groups = [[0, 1]]
+        points = np.array([[0.1, 0.2], [0.65, 0.8]])
+        labels = label_points(points, betas, groups)
+        assert labels.tolist() == [0, 0]
+
+
+class TestBuildCorrelationClusters:
+    def test_empty_betas_all_noise(self):
+        points = np.random.default_rng(0).uniform(0, 1, (10, 3))
+        result = build_correlation_clusters(points, [])
+        assert result.n_clusters == 0
+        assert result.n_noise == 10
+        assert result.extras["n_beta_clusters"] == 0
+
+    def test_relevant_axes_union(self):
+        betas = [
+            _beta([0.0, 0.0, 0.0], [0.4, 1.0, 1.0], [True, False, False]),
+            _beta([0.3, 0.0, 0.0], [0.7, 1.0, 1.0], [False, True, False]),
+        ]
+        points = np.array([[0.2, 0.5, 0.5]])
+        result = build_correlation_clusters(points, betas)
+        assert result.n_clusters == 1
+        assert result.clusters[0].relevant_axes == frozenset({0, 1})
+
+    def test_labels_and_clusters_agree(self, single_cluster_points):
+        from repro.core.beta_cluster import find_beta_clusters
+        from repro.core.counting_tree import CountingTree
+
+        points, _ = single_cluster_points
+        tree = CountingTree(points, n_resolutions=4)
+        betas = find_beta_clusters(tree, alpha=1e-10)
+        result = build_correlation_clusters(points, betas)
+        for k, cluster in enumerate(result.clusters):
+            assert cluster.indices == frozenset(
+                np.flatnonzero(result.labels == k).tolist()
+            )
+
+    def test_every_point_in_at_most_one_cluster(self):
+        rng = np.random.default_rng(2)
+        points = rng.uniform(0, 1, (500, 3))
+        betas = [
+            _beta([0.0, 0.0, 0.0], [0.5, 1.0, 1.0], [True, False, False]),
+            _beta([0.6, 0.0, 0.0], [1.0, 1.0, 1.0], [True, False, False]),
+        ]
+        result = build_correlation_clusters(points, betas)
+        sizes = sum(c.size for c in result.clusters)
+        assert sizes + result.n_noise == 500

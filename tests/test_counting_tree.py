@@ -1,0 +1,186 @@
+"""Tests for the Counting-tree (Algorithm 1, Figure 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.counting_tree import CountingTree, void_keys
+
+
+def _tree(points, H=4):
+    return CountingTree(np.asarray(points, dtype=np.float64), n_resolutions=H)
+
+
+class TestConstruction:
+    def test_rejects_points_outside_unit_cube(self):
+        with pytest.raises(ValueError, match="normalise"):
+            _tree([[0.5, 1.5]])
+
+    def test_rejects_too_few_resolutions(self):
+        with pytest.raises(ValueError, match=">= 3"):
+            _tree([[0.5, 0.5]], H=2)
+
+    def test_rejects_empty_dataset(self):
+        with pytest.raises(ValueError, match="zero points"):
+            _tree(np.zeros((0, 3)))
+
+    def test_levels_one_to_h_minus_one(self):
+        tree = _tree([[0.1, 0.9]], H=5)
+        assert list(tree.levels) == [1, 2, 3, 4]
+        with pytest.raises(KeyError):
+            tree.level(5)
+
+
+class TestCounts:
+    def test_every_level_counts_every_point(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 1, size=(500, 4))
+        tree = _tree(points)
+        for h in tree.levels:
+            assert int(tree.level(h).n.sum()) == 500
+
+    def test_single_point_path(self):
+        tree = _tree([[0.3, 0.8]])
+        for h in tree.levels:
+            level = tree.level(h)
+            assert level.n_cells == 1
+            expected = np.floor(np.array([0.3, 0.8]) * (1 << h)).astype(int)
+            assert np.array_equal(level.coords[0], expected)
+
+    def test_known_grid_placement(self):
+        # Four points in distinct level-1 quadrants of the unit square.
+        points = [[0.1, 0.1], [0.9, 0.1], [0.1, 0.9], [0.9, 0.9]]
+        level1 = _tree(points).level(1)
+        assert level1.n_cells == 4
+        assert np.all(level1.n == 1)
+
+    def test_parent_child_count_consistency(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(0, 1, size=(400, 3))
+        tree = _tree(points)
+        for h in range(2, tree.n_resolutions - 1 + 1):
+            if h not in tree.levels:
+                continue
+            child = tree.level(h)
+            parent = tree.level(h - 1)
+            per_parent = {}
+            for row in range(child.n_cells):
+                key = tuple((child.coords[row] >> 1).tolist())
+                per_parent[key] = per_parent.get(key, 0) + int(child.n[row])
+            for key, total in per_parent.items():
+                parent_row = parent.row_of(np.asarray(key))
+                assert parent_row >= 0
+                assert int(parent.n[parent_row]) == total
+
+
+class TestHalfSpaceCounts:
+    def test_half_counts_sum_to_cell_count_in_each_axis(self):
+        rng = np.random.default_rng(1)
+        points = rng.uniform(0, 1, size=(300, 3))
+        tree = _tree(points)
+        for h in tree.levels:
+            level = tree.level(h)
+            assert np.all(level.half_counts >= 0)
+            assert np.all(level.half_counts <= level.n[:, None])
+
+    def test_half_count_matches_direct_computation(self):
+        points = np.array(
+            [[0.10, 0.6], [0.20, 0.6], [0.30, 0.6], [0.45, 0.6]]
+        )
+        tree = _tree(points, H=3)
+        level1 = tree.level(1)
+        # All four points are in level-1 cell (0, 1).
+        row = level1.row_of(np.array([0, 1]))
+        # Along axis 0, the cell [0, 0.5) splits at 0.25: two points
+        # (0.10, 0.20) in the lower half.
+        assert level1.half_counts[row, 0] == 2
+        # Along axis 1, the cell [0.5, 1.0) splits at 0.75: all four
+        # points in the lower half.
+        assert level1.half_counts[row, 1] == 4
+
+
+class TestNeighborsAndBounds:
+    def test_face_neighbors_found_and_missing(self):
+        points = np.array([[0.1, 0.1], [0.4, 0.1]])  # adjacent level-2 cells? no:
+        # level-2 cells: floor(x*4): (0,0) and (1,0) — adjacent along axis 0.
+        tree = _tree(points, H=3)
+        level2 = tree.level(2)
+        row = level2.row_of(np.array([0, 0]))
+        lower, upper = level2.neighbor_rows(row, 0)
+        assert lower == -1  # grid border
+        assert upper == level2.row_of(np.array([1, 0]))
+        lower, upper = level2.neighbor_rows(row, 1)
+        assert lower == -1
+        assert upper == -1  # empty space
+
+    def test_bounds(self):
+        tree = _tree([[0.3, 0.8]])
+        level2 = tree.level(2)
+        lower, upper = level2.bounds(0)
+        assert lower == pytest.approx([0.25, 0.75])
+        assert upper == pytest.approx([0.5, 1.0])
+
+    def test_loc_bits_match_relative_position(self):
+        tree = _tree([[0.3, 0.8]])
+        # Level-2 cell (1, 3): inside its level-1 parent (0, 1) it sits
+        # in the upper half of both axes.
+        bits = tree.loc_bits(2, 0)
+        assert bits.tolist() == [1, 1]
+
+    def test_parent_row_round_trip(self):
+        rng = np.random.default_rng(4)
+        points = rng.uniform(0, 1, size=(100, 2))
+        tree = _tree(points)
+        level2 = tree.level(2)
+        for row in range(level2.n_cells):
+            parent = tree.parent_row(2, row)
+            assert np.array_equal(
+                tree.level(1).coords[parent], level2.coords[row] >> 1
+            )
+
+
+class TestVoidKeys:
+    def test_orders_lexicographically(self):
+        coords = np.array([[0, 5], [1, 0], [0, 2]])
+        keys = void_keys(coords)
+        order = np.argsort(keys)
+        assert order.tolist() == [2, 0, 1]
+
+    def test_rows_of_vectorised_lookup(self):
+        rng = np.random.default_rng(5)
+        points = rng.uniform(0, 1, size=(200, 3))
+        tree = _tree(points)
+        level = tree.level(2)
+        rows = level.rows_of(level.coords)
+        assert np.array_equal(rows, np.arange(level.n_cells))
+        missing = level.rows_of(np.full((1, 3), 3, dtype=np.int64) + 10)
+        assert missing[0] == -1
+
+
+class TestComplexityProxies:
+    def test_cells_bounded_by_points_per_level(self):
+        rng = np.random.default_rng(6)
+        points = rng.uniform(0, 1, size=(250, 8))
+        tree = _tree(points, H=5)
+        for h in tree.levels:
+            assert tree.level(h).n_cells <= 250
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 120), st.integers(1, 5)),
+            elements=st.floats(0.0, 0.999, allow_nan=False),
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_hold_for_random_data(self, points):
+        tree = _tree(points)
+        n = points.shape[0]
+        for h in tree.levels:
+            level = tree.level(h)
+            assert int(level.n.sum()) == n
+            assert np.all(level.half_counts <= level.n[:, None])
+            assert np.all(level.coords >= 0)
+            assert np.all(level.coords < (1 << h))

@@ -1,0 +1,88 @@
+"""Tests for the diagnostics/introspection helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.counting_tree import CountingTree
+from repro.core.diagnostics import (
+    cluster_diagnostics,
+    membership_confidence,
+    tree_profile,
+)
+from repro.core.mrcc import MrCC
+from repro.types import NOISE_LABEL
+
+
+class TestTreeProfile:
+    def test_profile_covers_all_levels(self, medium_dataset):
+        tree = CountingTree(medium_dataset.points, n_resolutions=5)
+        profiles = tree_profile(tree)
+        assert [p.h for p in profiles] == [1, 2, 3, 4]
+
+    def test_occupancy_decreases_with_depth(self, medium_dataset):
+        tree = CountingTree(medium_dataset.points, n_resolutions=5)
+        occupancies = [p.occupancy for p in tree_profile(tree)]
+        assert all(a >= b for a, b in zip(occupancies, occupancies[1:]))
+
+    def test_counts_are_consistent(self, medium_dataset):
+        tree = CountingTree(medium_dataset.points)
+        for profile in tree_profile(tree):
+            level = tree.level(profile.h)
+            assert profile.n_cells == level.n_cells
+            assert profile.max_count == int(level.n.max())
+            assert profile.as_row()["cells"] == level.n_cells
+
+
+class TestClusterDiagnostics:
+    @pytest.fixture(scope="class")
+    def fitted(self, medium_dataset):
+        result = MrCC(normalize=False).fit(medium_dataset.points)
+        return medium_dataset, result
+
+    def test_one_report_per_cluster(self, fitted):
+        dataset, result = fitted
+        reports = cluster_diagnostics(result, dataset.points)
+        assert len(reports) == result.n_clusters
+
+    def test_correlation_clusters_are_compact(self, fitted):
+        """Clusters are tighter along their relevant axes; merged
+        clusters (whose axes are a union over β-clusters) may approach
+        but not reach isotropy."""
+        dataset, result = fitted
+        reports = cluster_diagnostics(result, dataset.points)
+        values = sorted(r.compactness for r in reports)
+        assert values[len(values) // 2] < 0.5  # median
+        assert all(v < 1.0 for v in values)
+
+    def test_sizes_match_clusters(self, fitted):
+        dataset, result = fitted
+        reports = cluster_diagnostics(result, dataset.points)
+        for report, cluster in zip(reports, result.clusters):
+            assert report.size == cluster.size
+            assert report.dimensionality == cluster.dimensionality
+
+
+class TestMembershipConfidence:
+    def test_noise_scores_zero(self, medium_dataset):
+        result = MrCC(normalize=False).fit(medium_dataset.points)
+        confidence = membership_confidence(result, medium_dataset.points)
+        noise = result.labels == NOISE_LABEL
+        assert np.all(confidence[noise] == 0.0)
+
+    def test_confidence_in_unit_interval(self, medium_dataset):
+        result = MrCC(normalize=False).fit(medium_dataset.points)
+        confidence = membership_confidence(result, medium_dataset.points)
+        assert np.all(confidence >= 0.0)
+        assert np.all(confidence <= 1.0)
+
+    def test_central_members_beat_border_members(self, medium_dataset):
+        result = MrCC(normalize=False).fit(medium_dataset.points)
+        confidence = membership_confidence(result, medium_dataset.points)
+        cluster = max(result.clusters, key=lambda c: c.size)
+        members = np.asarray(sorted(cluster.indices))
+        axes = sorted(cluster.relevant_axes)
+        sub = medium_dataset.points[np.ix_(members, axes)]
+        distance = np.abs(sub - sub.mean(axis=0)).mean(axis=1)
+        central = members[np.argsort(distance)[:10]]
+        border = members[np.argsort(distance)[-10:]]
+        assert confidence[central].mean() > confidence[border].mean()

@@ -1,0 +1,61 @@
+"""Behavioural tests for the EPCH baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EPCH
+from repro.evaluation.quality import quality, subspaces_quality
+
+
+class TestParameters:
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError, match="max_no_cluster"):
+            EPCH(max_no_cluster=0)
+
+    def test_rejects_bad_outlier_threshold(self):
+        with pytest.raises(ValueError, match="outlier_threshold"):
+            EPCH(max_no_cluster=2, outlier_threshold=1.0)
+
+    def test_rejects_hist_dim_above_dimensionality(self, easy_dataset):
+        with pytest.raises(ValueError, match="hist_dim"):
+            EPCH(max_no_cluster=2, hist_dim=99).fit(easy_dataset.points)
+
+
+class TestClustering:
+    def test_recovers_planted_structure(self, easy_dataset):
+        result = EPCH(max_no_cluster=3).fit(easy_dataset.points)
+        assert result.n_clusters >= 2
+        assert quality(result.clusters, easy_dataset.clusters) > 0.7
+
+    def test_identifies_relevant_axes(self, easy_dataset):
+        result = EPCH(max_no_cluster=3).fit(easy_dataset.points)
+        assert subspaces_quality(result.clusters, easy_dataset.clusters) > 0.6
+
+    def test_respects_cluster_budget(self, medium_dataset):
+        result = EPCH(max_no_cluster=2).fit(medium_dataset.points)
+        assert result.n_clusters <= 2
+
+    def test_two_dimensional_histograms(self, easy_dataset):
+        result = EPCH(max_no_cluster=3, hist_dim=2).fit(easy_dataset.points)
+        assert result.extras["n_histograms"] == 10  # C(5, 2)
+        assert result.n_clusters >= 1
+
+    def test_uniform_noise_mostly_outliers(self):
+        rng = np.random.default_rng(4)
+        points = rng.uniform(0, 1, size=(1500, 5))
+        result = EPCH(max_no_cluster=3).fit(points)
+        assert result.n_noise > 1000
+
+    def test_higher_outlier_threshold_accepts_more_points(self, medium_dataset):
+        strict = EPCH(max_no_cluster=5, outlier_threshold=0.05).fit(
+            medium_dataset.points
+        )
+        lenient = EPCH(max_no_cluster=5, outlier_threshold=0.5).fit(
+            medium_dataset.points
+        )
+        assert lenient.n_noise <= strict.n_noise
+
+    def test_extras_report_histograms(self, easy_dataset):
+        result = EPCH(max_no_cluster=3).fit(easy_dataset.points)
+        assert result.extras["n_histograms"] == 5
+        assert len(result.extras["regions_per_histogram"]) == 5

@@ -1,0 +1,187 @@
+"""Tests for the experiment layer: registry, runner, sweeps, reports."""
+
+import numpy as np
+import pytest
+
+from repro.data.suites import first_group
+from repro.data.synthetic import SyntheticDatasetSpec, generate_dataset
+from repro.experiments.config import (
+    HEADLINE_METHODS,
+    method_registry,
+    profile_from_env,
+)
+from repro.experiments.report import format_series, format_table
+from repro.experiments.runner import run_method_on_dataset, run_suite
+from repro.experiments.sensibility import alpha_sweep, resolution_sweep
+from repro.experiments.synthetic_suite import (
+    FIGURE_ROWS,
+    run_figure_row,
+    run_subspaces_quality,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return generate_dataset(
+        SyntheticDatasetSpec(
+            dimensionality=5,
+            n_points=800,
+            n_clusters=2,
+            noise_fraction=0.1,
+            max_irrelevant=2,
+            seed=2,
+        )
+    )
+
+
+class TestRegistry:
+    def test_headline_methods_registered(self):
+        registry = method_registry()
+        assert set(HEADLINE_METHODS) <= set(registry)
+
+    def test_grids_are_non_empty(self, tiny_dataset):
+        for spec in method_registry().values():
+            assert list(spec.grid(tiny_dataset, "quick"))
+            assert list(spec.grid(tiny_dataset, "full"))
+
+    def test_full_grids_extend_quick_grids(self, tiny_dataset):
+        for spec in method_registry().values():
+            quick = list(spec.grid(tiny_dataset, "quick"))
+            full = list(spec.grid(tiny_dataset, "full"))
+            assert len(full) >= len(quick)
+
+    def test_builders_produce_fittable_methods(self, tiny_dataset):
+        for spec in method_registry().values():
+            params = next(iter(spec.grid(tiny_dataset, "quick")))
+            method = spec.build(tiny_dataset, **params)
+            result = method.fit(tiny_dataset.points)
+            assert result.labels.shape == (tiny_dataset.n_points,)
+
+    def test_profile_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert profile_from_env() == "quick"
+        monkeypatch.setenv("REPRO_PROFILE", "full")
+        assert profile_from_env() == "full"
+        monkeypatch.setenv("REPRO_PROFILE", "bogus")
+        with pytest.raises(ValueError):
+            profile_from_env()
+
+
+class TestRunner:
+    def test_row_schema(self, tiny_dataset):
+        registry = method_registry()
+        row = run_method_on_dataset(registry["MrCC"], tiny_dataset, profile="quick")
+        assert {
+            "method", "dataset", "quality", "subspaces_quality",
+            "seconds", "peak_kb", "n_found", "n_real", "params",
+        } <= set(row)
+        assert row["method"] == "MrCC"
+        assert 0.0 <= row["quality"] <= 1.0
+        assert row["seconds"] > 0.0
+        assert row["peak_kb"] > 0.0
+
+    def test_memory_tracking_optional(self, tiny_dataset):
+        registry = method_registry()
+        row = run_method_on_dataset(
+            registry["MrCC"], tiny_dataset, profile="quick", track_memory=False
+        )
+        assert row["peak_kb"] == 0.0
+
+    def test_best_configuration_wins(self, tiny_dataset):
+        """The reported quality is the max over the grid of the same
+        seed-averaged quality the runner computes."""
+        import numpy as np
+
+        from repro.evaluation.quality import quality
+
+        registry = method_registry()
+        spec = registry["LAC"]
+        best = run_method_on_dataset(
+            spec, tiny_dataset, profile="quick", track_memory=False
+        )
+        means = []
+        for params in spec.grid(tiny_dataset, "quick"):
+            per_seed = []
+            for seed in range(3):
+                method = spec.build(tiny_dataset, **params, random_state=seed)
+                result = method.fit(tiny_dataset.points)
+                per_seed.append(quality(result.clusters, tiny_dataset.clusters))
+            means.append(float(np.mean(per_seed)))
+        assert best["quality"] == pytest.approx(max(means))
+
+    def test_run_suite_covers_all_pairs(self, tiny_dataset):
+        rows = run_suite(
+            [tiny_dataset], methods=("MrCC", "LAC"), profile="quick",
+            track_memory=False,
+        )
+        assert {(r["method"], r["dataset"]) for r in rows} == {
+            ("MrCC", tiny_dataset.name), ("LAC", tiny_dataset.name),
+        }
+
+    def test_run_suite_rejects_unknown_method(self, tiny_dataset):
+        with pytest.raises(ValueError, match="unknown"):
+            run_suite([tiny_dataset], methods=("NOPE",))
+
+
+class TestSensibility:
+    def test_alpha_sweep_rows(self, tiny_dataset):
+        rows = alpha_sweep([tiny_dataset], alphas=(1e-3, 1e-10))
+        assert len(rows) == 2
+        assert {r["alpha"] for r in rows} == {1e-3, 1e-10}
+        assert all(r["dataset"] == tiny_dataset.name for r in rows)
+
+    def test_resolution_sweep_time_grows_with_h(self, tiny_dataset):
+        rows = resolution_sweep([tiny_dataset], h_values=(4, 10))
+        assert rows[0]["peak_kb"] < rows[1]["peak_kb"]
+
+
+class TestFigureRows:
+    def test_every_figure_row_defined(self):
+        assert set(FIGURE_ROWS) == {
+            "fig5a-c", "fig5d-f", "fig5g-i", "fig5j-l", "fig5m-o", "fig5p-r",
+        }
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(ValueError, match="unknown figure"):
+            run_figure_row("fig9")
+
+    def test_small_row_runs(self):
+        rows = run_figure_row(
+            "fig5a-c", scale=0.008, methods=("MrCC",), profile="quick"
+        )
+        assert len(rows) == 7  # seven first-group datasets
+        assert all(r["method"] == "MrCC" for r in rows)
+
+    def test_subspaces_quality_excludes_lac(self):
+        rows = run_subspaces_quality(scale=0.008)
+        assert "LAC" not in {r["method"] for r in rows}
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [
+            {"method": "MrCC", "quality": 0.987, "seconds": 1.5},
+            {"method": "HARP", "quality": 0.5, "seconds": 1000.0},
+        ]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "MrCC" in lines[2]
+        assert "1,000" in lines[3]
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_series_pivots(self):
+        rows = [
+            {"method": "MrCC", "dataset": "6d", "quality": 1.0},
+            {"method": "MrCC", "dataset": "8d", "quality": 0.9},
+            {"method": "LAC", "dataset": "6d", "quality": 0.8},
+            {"method": "LAC", "dataset": "8d", "quality": 0.7},
+        ]
+        text = format_series(rows, "quality")
+        lines = text.splitlines()
+        assert lines[0] == "[quality]"
+        assert "6d" in lines[1] and "8d" in lines[1]
+        assert lines[2].startswith("MrCC")
+        assert lines[3].startswith("LAC")

@@ -1,0 +1,66 @@
+"""Behavioural tests for the HARP baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import HARP
+from repro.evaluation.quality import quality
+from repro.types import NOISE_LABEL
+
+
+class TestParameters:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError, match="n_clusters"):
+            HARP(n_clusters=0)
+
+    def test_rejects_bad_noise(self):
+        with pytest.raises(ValueError, match="max_noise_percent"):
+            HARP(n_clusters=2, max_noise_percent=1.0)
+
+
+class TestClustering:
+    def test_recovers_planted_structure(self, easy_dataset):
+        result = HARP(
+            n_clusters=3, max_noise_percent=0.1, max_points=800
+        ).fit(easy_dataset.points)
+        assert result.n_clusters == 3
+        assert quality(result.clusters, easy_dataset.clusters) > 0.8
+
+    def test_noise_percentile_is_honoured(self, easy_dataset):
+        result = HARP(
+            n_clusters=3, max_noise_percent=0.2, max_points=600
+        ).fit(easy_dataset.points)
+        noise_fraction = result.n_noise / easy_dataset.n_points
+        assert noise_fraction == pytest.approx(0.2, abs=0.02)
+
+    def test_zero_noise_keeps_all_points(self, easy_dataset):
+        result = HARP(
+            n_clusters=3, max_noise_percent=0.0, max_points=600
+        ).fit(easy_dataset.points)
+        assert result.n_noise == 0
+
+    def test_subsampling_still_labels_everything(self, easy_dataset):
+        result = HARP(
+            n_clusters=3, max_noise_percent=0.1, max_points=150
+        ).fit(easy_dataset.points)
+        assert result.extras["n_agglomerated"] == 150
+        labelled = np.count_nonzero(result.labels != NOISE_LABEL)
+        assert labelled == easy_dataset.n_points - result.n_noise
+        assert labelled > easy_dataset.n_points // 2
+
+    def test_selected_dimensions_reflect_structure(self, single_cluster_points):
+        points, _ = single_cluster_points
+        result = HARP(
+            n_clusters=2, max_noise_percent=0.2, max_points=500
+        ).fit(points)
+        cluster = max(result.clusters, key=lambda c: c.size)
+        assert {1, 3} & cluster.relevant_axes
+
+    def test_deterministic_given_seed(self, easy_dataset):
+        a = HARP(n_clusters=3, max_points=400, random_state=5).fit(
+            easy_dataset.points
+        )
+        b = HARP(n_clusters=3, max_points=400, random_state=5).fit(
+            easy_dataset.points
+        )
+        assert np.array_equal(a.labels, b.labels)

@@ -1,0 +1,86 @@
+"""Tests for the simulated KDD Cup 2008 dataset (DESIGN.md substitution #1)."""
+
+import numpy as np
+import pytest
+
+from repro.data.kddcup2008 import (
+    N_FEATURES,
+    KddCup2008Spec,
+    generate_kddcup2008,
+    kddcup2008_split,
+)
+
+SPEC = KddCup2008Spec(scale=0.02)
+
+
+class TestSplitGeneration:
+    @pytest.fixture(scope="class")
+    def split(self):
+        return kddcup2008_split("left", "MLO", SPEC)
+
+    def test_feature_count_matches_kddcup(self, split):
+        assert split.dimensionality == N_FEATURES
+
+    def test_points_in_unit_cube(self, split):
+        assert np.all(split.points >= 0.0)
+        assert np.all(split.points < 1.0)
+
+    def test_class_ground_truth_consistent(self, split):
+        """Clusters are the two ROI classes: 0 = normal, 1 = malignant."""
+        split.validate()
+        assert split.n_clusters == 2
+        assert np.all(split.labels >= 0)  # every ROI belongs to a class
+
+    def test_class_skew_is_strong(self, split):
+        is_malignant = split.metadata["is_malignant"]
+        fraction = is_malignant.mean()
+        assert 0.0 < fraction < 0.2
+        assert np.array_equal(split.labels == 1, is_malignant)
+
+    def test_structures_recorded_in_metadata(self, split):
+        structures = split.metadata["structure_labels"]
+        axes = split.metadata["structure_axes"]
+        spec = split.metadata["spec"]
+        n_structures = spec.n_benign_clusters + spec.n_malignant_clusters
+        assert len(axes) == n_structures
+        assert set(np.unique(structures)) <= set(range(-1, n_structures))
+
+    def test_dominant_benign_structure(self, split):
+        """Most normal ROIs belong to one tissue structure (the
+        property that drives the paper-level recall on this data)."""
+        structures = split.metadata["structure_labels"]
+        normal = split.labels == 0
+        dominant = np.bincount(structures[normal] + 1).max()
+        assert dominant / normal.sum() > 0.6
+
+    def test_malignant_rois_form_structures(self, split):
+        structures = split.metadata["structure_labels"]
+        malignant = split.labels == 1
+        assert np.all(structures[malignant] >= 0)
+
+    def test_deterministic(self):
+        a = kddcup2008_split("right", "CC", SPEC)
+        b = kddcup2008_split("right", "CC", SPEC)
+        assert np.array_equal(a.points, b.points)
+
+    def test_splits_differ(self):
+        a = kddcup2008_split("left", "CC", SPEC)
+        b = kddcup2008_split("left", "MLO", SPEC)
+        assert not np.array_equal(a.points, b.points)
+
+    def test_rejects_unknown_side_or_view(self):
+        with pytest.raises(ValueError, match="side"):
+            kddcup2008_split("center", "CC", SPEC)
+        with pytest.raises(ValueError, match="view"):
+            kddcup2008_split("left", "XX", SPEC)
+
+
+class TestGenerateAll:
+    def test_four_splits(self):
+        splits = generate_kddcup2008(SPEC)
+        assert sorted(splits) == ["left-CC", "left-MLO", "right-CC", "right-MLO"]
+
+    def test_total_roi_count_tracks_published_size(self):
+        splits = generate_kddcup2008(SPEC)
+        total = sum(ds.n_points for ds in splits.values())
+        assert total == pytest.approx(102_294 * SPEC.scale, rel=0.05)

@@ -1,0 +1,56 @@
+"""Behavioural tests for the LAC baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LAC
+from repro.evaluation.quality import quality
+from repro.types import NOISE_LABEL
+
+
+class TestParameters:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError, match="n_clusters"):
+            LAC(n_clusters=0)
+
+    def test_rejects_bad_inv_h(self):
+        with pytest.raises(ValueError, match="inv_h"):
+            LAC(n_clusters=2, inv_h=0.0)
+
+
+class TestClustering:
+    def test_partitions_without_noise(self, easy_dataset):
+        """LAC produces a full partition — no noise set (Section IV)."""
+        result = LAC(n_clusters=3, random_state=0).fit(easy_dataset.points)
+        assert result.n_noise == 0
+        assert np.all(result.labels != NOISE_LABEL)
+
+    def test_recovers_planted_structure(self, easy_dataset):
+        result = LAC(n_clusters=3, random_state=0).fit(easy_dataset.points)
+        assert quality(result.clusters, easy_dataset.clusters) > 0.6
+
+    def test_weights_concentrate_on_relevant_axes(self, single_cluster_points):
+        points, labels = single_cluster_points
+        result = LAC(n_clusters=2, inv_h=8.0, random_state=0).fit(points)
+        weights = result.extras["weights"]
+        # The cluster-dominated centroid must upweight axes 1 and 3.
+        best = weights.max(axis=0)
+        assert best[1] > 1.0 / points.shape[1]
+        assert best[3] > 1.0 / points.shape[1]
+
+    def test_sharper_inv_h_sharpens_weights(self, easy_dataset):
+        soft = LAC(n_clusters=3, inv_h=1.0, random_state=0).fit(easy_dataset.points)
+        sharp = LAC(n_clusters=3, inv_h=11.0, random_state=0).fit(easy_dataset.points)
+        assert (
+            sharp.extras["weights"].max(axis=1).mean()
+            >= soft.extras["weights"].max(axis=1).mean()
+        )
+
+    def test_k_larger_than_structure_drops_empty_clusters(self, easy_dataset):
+        result = LAC(n_clusters=20, random_state=0).fit(easy_dataset.points)
+        assert result.n_clusters <= 20
+        assert all(c.size > 0 for c in result.clusters)
+
+    def test_converges_and_reports_iterations(self, easy_dataset):
+        result = LAC(n_clusters=3, random_state=0).fit(easy_dataset.points)
+        assert 1 <= result.extras["n_iter"] <= 50

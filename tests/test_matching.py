@@ -1,0 +1,42 @@
+"""Tests for most-dominant-cluster matching (Section IV-A)."""
+
+import numpy as np
+
+from repro.evaluation.matching import dominant_found, dominant_real, overlap_matrix
+from repro.types import SubspaceCluster
+
+
+def _cluster(indices):
+    return SubspaceCluster.from_iterables(indices, [0])
+
+
+class TestOverlapMatrix:
+    def test_counts_shared_points(self):
+        found = [_cluster([0, 1, 2]), _cluster([3, 4])]
+        real = [_cluster([1, 2, 3]), _cluster([4])]
+        matrix = overlap_matrix(found, real)
+        assert matrix.tolist() == [[2, 0], [1, 1]]
+
+    def test_empty_inputs(self):
+        assert overlap_matrix([], []).shape == (0, 0)
+        assert overlap_matrix([_cluster([0])], []).shape == (1, 0)
+
+
+class TestDominantSelection:
+    def test_dominant_real_picks_largest_overlap(self):
+        matrix = np.array([[2, 5], [4, 1]])
+        assert dominant_real(matrix).tolist() == [1, 0]
+
+    def test_dominant_found_picks_largest_overlap(self):
+        matrix = np.array([[2, 5], [4, 1]])
+        assert dominant_found(matrix).tolist() == [1, 0]
+
+    def test_ties_break_to_lower_index(self):
+        matrix = np.array([[3, 3]])
+        assert dominant_real(matrix).tolist() == [0]
+
+    def test_round_trip_on_perfect_match(self):
+        found = [_cluster([0, 1]), _cluster([2, 3])]
+        matrix = overlap_matrix(found, found)
+        assert dominant_real(matrix).tolist() == [0, 1]
+        assert dominant_found(matrix).tolist() == [0, 1]

@@ -1,0 +1,73 @@
+"""Behavioural tests for the ORCLUS extra baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ORCLUS
+from repro.data.rotation import rotate_dataset
+from repro.data.synthetic import SyntheticDatasetSpec, generate_dataset
+from repro.evaluation.quality import quality
+
+
+@pytest.fixture(scope="module")
+def oriented_pair():
+    dataset = generate_dataset(
+        SyntheticDatasetSpec(
+            dimensionality=8,
+            n_points=2000,
+            n_clusters=3,
+            noise_fraction=0.1,
+            max_irrelevant=2,
+            seed=5,
+        )
+    )
+    return dataset, rotate_dataset(dataset, seed=9)
+
+
+class TestParameters:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="n_clusters"):
+            ORCLUS(n_clusters=0)
+        with pytest.raises(ValueError, match="subspace_dim"):
+            ORCLUS(n_clusters=2, subspace_dim=0)
+        with pytest.raises(ValueError, match="alpha"):
+            ORCLUS(n_clusters=2, alpha=1.0)
+
+
+class TestClustering:
+    def test_handles_rotated_clusters(self, oriented_pair):
+        """ORCLUS's eigenbasis subspaces follow arbitrary orientations —
+        the property the MrCC paper highlights in related work."""
+        _, rotated = oriented_pair
+        result = ORCLUS(n_clusters=3, subspace_dim=5, random_state=0).fit(
+            rotated.points
+        )
+        assert result.n_clusters == 3
+        assert quality(result.clusters, rotated.clusters) > 0.7
+
+    def test_reasonable_on_axis_aligned_data(self, oriented_pair):
+        dataset, _ = oriented_pair
+        result = ORCLUS(n_clusters=3, subspace_dim=5, random_state=0).fit(
+            dataset.points
+        )
+        assert quality(result.clusters, dataset.clusters) > 0.5
+
+    def test_bases_are_orthonormal(self, oriented_pair):
+        _, rotated = oriented_pair
+        result = ORCLUS(n_clusters=3, subspace_dim=4, random_state=0).fit(
+            rotated.points
+        )
+        for basis in result.extras["bases"]:
+            gram = basis @ basis.T
+            assert np.allclose(gram, np.eye(basis.shape[0]), atol=1e-8)
+
+    def test_deterministic_given_seed(self, oriented_pair):
+        dataset, _ = oriented_pair
+        a = ORCLUS(n_clusters=3, random_state=3).fit(dataset.points)
+        b = ORCLUS(n_clusters=3, random_state=3).fit(dataset.points)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_relevant_axes_nonempty(self, oriented_pair):
+        dataset, _ = oriented_pair
+        result = ORCLUS(n_clusters=3, random_state=0).fit(dataset.points)
+        assert all(c.relevant_axes for c in result.clusters)

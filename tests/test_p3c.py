@@ -1,0 +1,63 @@
+"""Behavioural tests for the P3C baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import P3C
+from repro.baselines.p3c import _Interval
+from repro.evaluation.quality import quality
+
+
+class TestParameters:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError, match="poisson_threshold"):
+            P3C(poisson_threshold=0.0)
+
+
+class TestIntervals:
+    def test_interval_matches_bins(self):
+        interval = _Interval(attribute=1, lo_bin=2, hi_bin=4, width_fraction=0.3)
+        bins = np.array([[0, 2], [0, 5], [0, 3]])
+        assert interval.matches(bins).tolist() == [True, False, True]
+
+    def test_relevant_intervals_found_on_peaked_attribute(self):
+        rng = np.random.default_rng(0)
+        p3c = P3C()
+        column = np.concatenate(
+            [rng.integers(0, 16, size=500), np.full(400, 7)]
+        )
+        intervals = p3c._relevant_intervals(column, 16, attribute=0)
+        assert intervals
+        assert any(iv.lo_bin <= 7 <= iv.hi_bin for iv in intervals)
+
+    def test_uniform_attribute_yields_no_intervals(self):
+        rng = np.random.default_rng(1)
+        p3c = P3C()
+        column = rng.integers(0, 16, size=2000)
+        assert p3c._relevant_intervals(column, 16, attribute=0) == []
+
+
+class TestClustering:
+    def test_recovers_planted_structure(self, easy_dataset):
+        result = P3C().fit(easy_dataset.points)
+        assert result.n_clusters >= 2
+        assert quality(result.clusters, easy_dataset.clusters) > 0.5
+
+    def test_cores_use_multiple_attributes(self, easy_dataset):
+        result = P3C().fit(easy_dataset.points)
+        assert all(c.dimensionality >= 2 for c in result.clusters)
+
+    def test_uniform_noise_yields_no_clusters(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(0, 1, size=(1500, 4))
+        result = P3C().fit(points)
+        assert result.n_clusters == 0
+
+    def test_threshold_controls_core_growth(self, easy_dataset):
+        lax = P3C(poisson_threshold=1e-1).fit(easy_dataset.points)
+        strict = P3C(poisson_threshold=1e-15).fit(easy_dataset.points)
+        assert lax.extras["n_cores"] >= strict.extras["n_cores"]
+
+    def test_extras_schema(self, easy_dataset):
+        extras = P3C().fit(easy_dataset.points).extras
+        assert {"n_intervals", "n_cores", "n_bins"} <= set(extras)

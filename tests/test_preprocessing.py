@@ -1,0 +1,155 @@
+"""Tests for the >30-axis front-end: PCA, FDR and the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticDatasetSpec, generate_dataset
+from repro.preprocessing import PCA, FractalDimensionReducer, HighDimPipeline
+from repro.preprocessing.fdr import correlation_dimension
+
+
+class TestPCA:
+    def test_recovers_low_rank_structure(self):
+        rng = np.random.default_rng(0)
+        latent = rng.normal(size=(500, 2))
+        mixing = rng.normal(size=(2, 6))
+        points = latent @ mixing + 0.01 * rng.normal(size=(500, 6))
+        pca = PCA(n_components=0.99).fit(points)
+        assert pca.n_components_ <= 3
+        assert pca.explained_variance_ratio_.sum() >= 0.99
+
+    def test_components_are_orthonormal(self):
+        rng = np.random.default_rng(1)
+        pca = PCA(n_components=3).fit(rng.normal(size=(200, 5)))
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(3), atol=1e-10)
+
+    def test_transform_then_inverse_approximates_input(self):
+        rng = np.random.default_rng(2)
+        latent = rng.normal(size=(300, 2))
+        points = latent @ rng.normal(size=(2, 5))
+        pca = PCA(n_components=2).fit(points)
+        recovered = pca.inverse_transform(pca.transform(points))
+        assert np.allclose(recovered, points, atol=1e-8)
+
+    def test_rejects_bad_parameters_and_order(self):
+        with pytest.raises(ValueError):
+            PCA(n_components=0)
+        with pytest.raises(ValueError):
+            PCA(n_components=1.5)
+        with pytest.raises(RuntimeError):
+            PCA(n_components=2).transform(np.zeros((3, 3)))
+
+
+class TestCorrelationDimension:
+    def test_uniform_square_has_dimension_two(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(0, 1, size=(8000, 2))
+        d2 = correlation_dimension(points)
+        assert 1.6 < d2 < 2.3
+
+    def test_line_embedded_in_plane_has_dimension_one(self):
+        rng = np.random.default_rng(4)
+        t = rng.uniform(0, 1, size=8000)
+        points = np.column_stack([t, np.clip(t, 0, np.nextafter(1.0, 0))])
+        d2 = correlation_dimension(points)
+        assert 0.7 < d2 < 1.3
+
+    def test_redundant_axis_does_not_raise_dimension(self):
+        rng = np.random.default_rng(5)
+        base = rng.uniform(0, 1, size=(5000, 2))
+        redundant = np.column_stack([base, base[:, 0]])
+        assert correlation_dimension(redundant) < correlation_dimension(base) + 0.3
+
+
+class TestFractalDimensionReducer:
+    def test_drops_redundant_copies_first(self):
+        rng = np.random.default_rng(6)
+        informative = rng.uniform(0, 1, size=(3000, 3))
+        copies = informative[:, [0, 1]] + 0.003 * rng.normal(size=(3000, 2))
+        points = np.clip(
+            np.hstack([informative, copies]), 0, np.nextafter(1.0, 0)
+        )
+        reducer = FractalDimensionReducer(n_features=3, sample_size=2000)
+        reducer.fit(points)
+        # The three kept axes must reconstruct the informative content:
+        # at least two of the three originals (one original may be
+        # swapped for its near-copy, which carries the same signal).
+        assert len(reducer.selected_) == 3
+        kept = set(reducer.selected_)
+        equivalent = [{0, 3}, {1, 4}, {2}]
+        assert all(kept & group for group in equivalent)
+
+    def test_stops_when_information_would_be_lost(self):
+        rng = np.random.default_rng(7)
+        points = rng.uniform(0, 1, size=(2000, 4))  # all axes independent
+        reducer = FractalDimensionReducer(
+            n_features=1, max_dimension_loss=0.3, sample_size=1500
+        )
+        reducer.fit(points)
+        # Independent axes all carry information: elimination must halt
+        # well before reaching 1 attribute.
+        assert len(reducer.selected_) > 1
+
+    def test_transform_selects_columns(self):
+        rng = np.random.default_rng(8)
+        points = rng.uniform(0, 1, size=(500, 5))
+        reducer = FractalDimensionReducer(n_features=4, sample_size=500)
+        out = reducer.fit_transform(points)
+        assert out.shape == (500, len(reducer.selected_))
+
+
+class TestHighDimPipeline:
+    def test_narrow_data_bypasses_reduction(self, easy_dataset):
+        pipeline = HighDimPipeline(max_axes=30)
+        result = pipeline.fit(easy_dataset.points)
+        assert pipeline.reduced_ is False
+        assert result.extras["reducer"] is None
+        assert result.n_clusters >= 1
+
+    def test_wide_data_is_reduced_then_clustered(self):
+        """Plant clusters in 10 informative axes, pad with 25 redundant
+        ones; the pipeline must reduce below the threshold and still
+        find structure."""
+        dataset = generate_dataset(
+            SyntheticDatasetSpec(
+                dimensionality=10,
+                n_points=3000,
+                n_clusters=3,
+                noise_fraction=0.1,
+                max_irrelevant=2,
+                seed=17,
+            )
+        )
+        rng = np.random.default_rng(17)
+        mixing = rng.normal(size=(10, 25))
+        padded = np.hstack([dataset.points, dataset.points @ mixing])
+        pipeline = HighDimPipeline(max_axes=10, reducer="pca")
+        result = pipeline.fit(padded)
+        assert pipeline.reduced_ is True
+        assert result.extras["reducer"] == "pca"
+        # Structure survives the projection: clusters are found and the
+        # clustered points cover most of the true cluster mass (close
+        # clusters may merge in the projected space).
+        assert result.n_clusters >= 1
+        clustered = result.labels >= 0
+        true_clustered = dataset.labels >= 0
+        assert clustered[true_clustered].mean() > 0.6
+
+    def test_fdr_reports_original_attribute_ids(self):
+        rng = np.random.default_rng(9)
+        cluster = rng.uniform(0, 1, size=(1500, 6))
+        cluster[:600, 1] = rng.normal(0.4, 0.01, 600)
+        cluster[:600, 3] = rng.normal(0.6, 0.01, 600)
+        redundant = cluster[:, [0, 2]] * 0.5 + 0.25
+        points = np.clip(
+            np.hstack([cluster, redundant]), 0, np.nextafter(1.0, 0)
+        )
+        pipeline = HighDimPipeline(max_axes=6, reducer="fdr")
+        result = pipeline.fit(points)
+        for cluster_found in result.clusters:
+            assert all(0 <= a < 8 for a in cluster_found.relevant_axes)
+
+    def test_rejects_unknown_reducer(self):
+        with pytest.raises(ValueError, match="reducer"):
+            HighDimPipeline(reducer="umap")

@@ -1,0 +1,111 @@
+"""Tests for the Quality / Subspaces Quality metrics (Eqs. 1-2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.quality import (
+    evaluate_clustering,
+    precision,
+    quality,
+    recall,
+    subspaces_quality,
+)
+from repro.types import ClusteringResult, Dataset, SubspaceCluster
+
+
+def _cluster(indices, axes=(0,)):
+    return SubspaceCluster.from_iterables(indices, axes)
+
+
+class TestPrecisionRecall:
+    def test_precision_is_fraction_of_found(self):
+        assert precision(frozenset({1, 2, 3, 4}), frozenset({1, 2})) == 0.5
+
+    def test_recall_is_fraction_of_real(self):
+        assert recall(frozenset({1, 2}), frozenset({1, 2, 3, 4})) == 0.5
+
+    def test_empty_sets_score_zero(self):
+        assert precision(frozenset(), frozenset({1})) == 0.0
+        assert recall(frozenset({1}), frozenset()) == 0.0
+
+
+class TestQuality:
+    def test_perfect_clustering_scores_one(self):
+        clusters = [_cluster([0, 1]), _cluster([2, 3, 4])]
+        assert quality(clusters, clusters) == pytest.approx(1.0)
+
+    def test_no_found_clusters_scores_zero(self):
+        assert quality([], [_cluster([0, 1])]) == 0.0
+
+    def test_no_real_clusters_scores_zero(self):
+        assert quality([_cluster([0, 1])], []) == 0.0
+
+    def test_half_covered_cluster(self):
+        found = [_cluster([0, 1])]
+        real = [_cluster([0, 1, 2, 3])]
+        # precision 1.0, recall 0.5 -> harmonic mean 2/3.
+        assert quality(found, real) == pytest.approx(2 / 3)
+
+    def test_oversplit_clustering_loses_recall(self):
+        real = [_cluster(range(10))]
+        found = [_cluster(range(5)), _cluster(range(5, 10))]
+        value = quality(found, real)
+        assert 0.0 < value < 1.0
+
+    def test_matching_uses_point_overlap_not_axes(self):
+        found = [_cluster([0, 1, 2], axes=(3,))]
+        real = [_cluster([0, 1, 2], axes=(0,)), _cluster([9], axes=(3,))]
+        # Dominant real cluster is the one sharing points, despite the
+        # disjoint axis sets.
+        assert quality(found, real) > 0.5
+
+    @given(
+        split=st.integers(1, 19),
+        total=st.integers(20, 60),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_quality_bounded_in_unit_interval(self, split, total):
+        real = [_cluster(range(total))]
+        found = [_cluster(range(split))]
+        value = quality(found, real)
+        assert 0.0 <= value <= 1.0
+
+
+class TestSubspacesQuality:
+    def test_exact_axes_score_one(self):
+        found = [_cluster([0, 1], axes=(0, 2))]
+        real = [_cluster([0, 1], axes=(0, 2))]
+        assert subspaces_quality(found, real) == pytest.approx(1.0)
+
+    def test_wrong_axes_score_low(self):
+        found = [_cluster([0, 1], axes=(4, 5))]
+        real = [_cluster([0, 1], axes=(0, 2))]
+        assert subspaces_quality(found, real) == 0.0
+
+    def test_partial_axes(self):
+        found = [_cluster([0, 1], axes=(0,))]
+        real = [_cluster([0, 1], axes=(0, 2))]
+        # precision 1.0, recall 0.5 -> 2/3.
+        assert subspaces_quality(found, real) == pytest.approx(2 / 3)
+
+
+class TestEvaluateClustering:
+    def test_report_fields(self):
+        points = np.array([[0.1, 0.1], [0.12, 0.12], [0.9, 0.9]])
+        labels = np.array([0, 0, -1])
+        dataset = Dataset(
+            points=points,
+            labels=labels,
+            clusters=[_cluster([0, 1], axes=(0, 1))],
+            name="tiny",
+        )
+        result = ClusteringResult.from_labels(labels, [(0, 1)])
+        report = evaluate_clustering(result, dataset)
+        assert report.quality == pytest.approx(1.0)
+        assert report.subspaces_quality == pytest.approx(1.0)
+        assert report.n_found == 1
+        assert report.n_real == 1
+        assert report.n_noise_found == 1
+        assert report.as_row()["quality"] == pytest.approx(1.0)

@@ -1,0 +1,35 @@
+"""Tests for the Figure 5t real-data experiment driver."""
+
+import pytest
+
+from repro.experiments.real_data import (
+    TABLE_METHODS,
+    check_lac_degenerates,
+    real_data_dataset,
+    run_real_data_table,
+)
+
+SCALE = 0.015
+
+
+class TestRealDataTable:
+    def test_table_methods_match_paper(self):
+        assert TABLE_METHODS == ("EPCH", "CFPC", "HARP", "MrCC")
+
+    def test_dataset_is_left_mlo(self):
+        dataset = real_data_dataset(scale=SCALE)
+        assert dataset.name == "kddcup2008-left-MLO"
+        assert dataset.dimensionality == 25
+
+    def test_rows_cover_all_methods(self):
+        rows = run_real_data_table(scale=SCALE, methods=("MrCC",))
+        assert [r["method"] for r in rows] == ["MrCC"]
+        row = rows[0]
+        assert row["quality"] > 0.0
+        assert row["seconds"] > 0.0
+
+    def test_lac_degeneracy_check_reports(self):
+        row = check_lac_degenerates(scale=SCALE)
+        assert row["method"] == "LAC"
+        assert 0.0 < row["largest_fraction"] <= 1.0
+        assert row["n_found"] >= 1

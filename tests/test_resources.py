@@ -1,0 +1,41 @@
+"""Tests for the time/memory measurement harness."""
+
+import numpy as np
+
+from repro.evaluation.resources import measure
+
+
+class TestMeasure:
+    def test_returns_callable_value(self):
+        assert measure(lambda: 41 + 1).value == 42
+
+    def test_seconds_positive_and_sane(self):
+        measurement = measure(lambda: sum(range(10000)))
+        assert 0.0 < measurement.seconds < 5.0
+
+    def test_peak_kb_reflects_allocation(self):
+        small = measure(lambda: np.zeros(10))
+        big = measure(lambda: np.zeros(2_000_000))
+        assert big.peak_kb > small.peak_kb
+        assert big.peak_kb > 10_000  # ~15.6 MB of float64
+
+    def test_track_memory_false_skips_probe(self):
+        measurement = measure(lambda: np.zeros(1000), track_memory=False)
+        assert measurement.peak_kb == 0.0
+        assert measurement.seconds >= 0.0
+
+    def test_exceptions_propagate_and_tracing_stops(self):
+        import tracemalloc
+
+        def boom():
+            raise RuntimeError("x")
+
+        try:
+            measure(boom)
+        except RuntimeError:
+            pass
+        assert not tracemalloc.is_tracing()
+
+    def test_as_row(self):
+        row = measure(lambda: None).as_row()
+        assert set(row) == {"seconds", "peak_kb"}

@@ -1,0 +1,149 @@
+"""Behavioural tests for the information-theoretic extras: RIC and OCI."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.oci import OCI, bimodality_valley, epd_shape, fast_ica
+from repro.baselines.ric import RIC, gaussian_bits, relevant_axes_by_vac
+from repro.core.mrcc import MrCC
+from repro.evaluation.quality import quality
+from repro.types import NOISE_LABEL
+
+
+class TestFastICA:
+    def test_recovers_independent_sources(self):
+        rng = np.random.default_rng(0)
+        sources = rng.uniform(-1, 1, size=(3000, 2))
+        mixed = sources @ np.array([[1.0, 0.45], [0.3, 1.0]]).T
+        recovered, directions = fast_ica(mixed, random_state=1)
+        # Recovered components are decorrelated in their energies
+        # (uniform sources are sub-Gaussian; abs-correlation near 0).
+        corr = np.corrcoef(np.abs(recovered[:, 0]), np.abs(recovered[:, 1]))[0, 1]
+        assert abs(corr) < 0.1
+        assert directions.shape == (2, 2)
+
+    def test_handles_degenerate_rank(self):
+        rng = np.random.default_rng(1)
+        base = rng.normal(size=(200, 1))
+        points = np.hstack([base, base * 2.0])  # rank 1
+        sources, _ = fast_ica(points, random_state=0)
+        assert np.all(np.isfinite(sources))
+
+
+class TestEpdShape:
+    def test_gaussian_scores_two(self):
+        rng = np.random.default_rng(2)
+        assert epd_shape(rng.normal(size=20000)) == pytest.approx(2.0, abs=0.3)
+
+    def test_laplace_scores_low(self):
+        rng = np.random.default_rng(3)
+        assert epd_shape(rng.laplace(size=20000)) < 1.5
+
+    def test_uniform_scores_high(self):
+        rng = np.random.default_rng(4)
+        assert epd_shape(rng.uniform(size=20000)) > 5.0
+
+    def test_constant_input_defaults_to_gaussian(self):
+        assert epd_shape(np.full(100, 3.0)) == 2.0
+
+
+class TestBimodalityValley:
+    def test_two_modes_scored_high(self):
+        rng = np.random.default_rng(5)
+        values = np.concatenate(
+            [rng.normal(-3, 0.3, 800), rng.normal(3, 0.3, 800)]
+        )
+        score, threshold = bimodality_valley(values)
+        assert score > 0.8
+        assert -2 < threshold < 2
+
+    def test_unimodal_scored_low(self):
+        rng = np.random.default_rng(6)
+        score, _ = bimodality_valley(rng.normal(size=2000))
+        assert score < 0.5
+
+    def test_edge_artifacts_ignored(self):
+        rng = np.random.default_rng(7)
+        values = np.concatenate([rng.normal(size=2000), [50.0]])
+        score, threshold = bimodality_valley(values)
+        assert threshold < 10.0  # the lone outlier cannot define the cut
+
+
+class TestOCI:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="min_cluster_size"):
+            OCI(min_cluster_size=1)
+        with pytest.raises(ValueError, match="outlier_quantile"):
+            OCI(outlier_quantile=0.7)
+
+    def test_splits_well_separated_clusters(self):
+        from repro.types import SubspaceCluster
+
+        rng = np.random.default_rng(8)
+        a = rng.normal([0.2] * 4, 0.02, size=(500, 4))
+        b = rng.normal([0.8] * 4, 0.02, size=(500, 4))
+        points = np.clip(np.vstack([a, b]), 0, np.nextafter(1.0, 0))
+        result = OCI(random_state=0).fit(points)
+        truth = [
+            SubspaceCluster.from_iterables(range(500), range(4)),
+            SubspaceCluster.from_iterables(range(500, 1000), range(4)),
+        ]
+        assert result.n_clusters == 2
+        assert quality(result.clusters, truth) > 0.9
+
+    def test_outlier_filter_drops_tail_points(self):
+        rng = np.random.default_rng(9)
+        points = np.clip(
+            rng.normal(0.5, 0.05, size=(800, 3)), 0, np.nextafter(1.0, 0)
+        )
+        result = OCI(outlier_quantile=0.05, random_state=0).fit(points)
+        assert 0 < result.n_noise <= 80
+
+
+class TestRIC:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="eviction_sigmas"):
+            RIC(eviction_sigmas=0.0)
+
+    def test_vac_picks_tight_axes(self):
+        rng = np.random.default_rng(10)
+        members = rng.uniform(0, 1, size=(500, 4))
+        members[:, 1] = rng.normal(0.5, 0.01, 500)
+        members[:, 2] = rng.normal(0.3, 0.02, 500)
+        axes = relevant_axes_by_vac(members)
+        assert axes == frozenset({1, 2})
+
+    def test_gaussian_bits_reward_tightness(self):
+        rng = np.random.default_rng(11)
+        tight = gaussian_bits(rng.normal(0.5, 0.01, 500))
+        loose = gaussian_bits(rng.normal(0.5, 0.2, 500))
+        assert tight < loose
+
+    def test_refinement_improves_precision_of_contaminated_cluster(self):
+        """Plant a tight cluster, contaminate its label set with noise
+        points: RIC must evict mostly contaminants."""
+        rng = np.random.default_rng(12)
+        cluster = rng.normal(0.5, 0.01, size=(400, 4))
+        noise = rng.uniform(0, 1, size=(100, 4))
+        points = np.clip(np.vstack([cluster, noise]), 0, np.nextafter(1.0, 0))
+        from repro.types import ClusteringResult
+
+        contaminated = ClusteringResult.from_labels(
+            np.zeros(500, dtype=np.int64), [range(4)]
+        )
+        refined = RIC().refine(contaminated, points)
+        assert refined.n_clusters == 1
+        members = np.asarray(sorted(refined.clusters[0].indices))
+        precision = np.mean(members < 400)
+        assert precision > 0.95
+        # Most genuine members survive the eviction.
+        assert np.count_nonzero(members < 400) > 320
+
+    def test_refining_mrcc_preserves_cluster_count(self, medium_dataset):
+        base = MrCC(normalize=False).fit(medium_dataset.points)
+        refined = RIC().refine(base, medium_dataset.points)
+        assert refined.n_clusters <= base.n_clusters
+        assert refined.n_clusters >= base.n_clusters - 1
+        assert np.all(
+            (refined.labels == NOISE_LABEL) | (refined.labels >= 0)
+        )

@@ -1,0 +1,85 @@
+"""Tests for chunked/streaming Counting-tree construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.counting_tree import CountingTree
+from repro.core.mrcc import MrCC
+from repro.core.streaming import build_tree_from_chunks, fit_stream, label_stream
+from repro.data.synthetic import SyntheticDatasetSpec, generate_dataset
+
+
+@pytest.fixture(scope="module")
+def stream_dataset():
+    return generate_dataset(
+        SyntheticDatasetSpec(
+            dimensionality=7,
+            n_points=3000,
+            n_clusters=3,
+            noise_fraction=0.1,
+            max_irrelevant=2,
+            seed=23,
+        )
+    )
+
+
+def _levels_equal(a, b):
+    order_a = np.lexsort(a.coords.T[::-1])
+    order_b = np.lexsort(b.coords.T[::-1])
+    return (
+        np.array_equal(a.coords[order_a], b.coords[order_b])
+        and np.array_equal(a.n[order_a], b.n[order_b])
+        and np.array_equal(a.half_counts[order_a], b.half_counts[order_b])
+    )
+
+
+class TestBuildTreeFromChunks:
+    def test_identical_to_batch_tree(self, stream_dataset):
+        chunks = np.array_split(stream_dataset.points, 9)
+        streamed = build_tree_from_chunks(chunks)
+        batch = CountingTree(stream_dataset.points)
+        assert streamed.n_points == batch.n_points
+        for h in batch.levels:
+            assert _levels_equal(streamed.level(h), batch.level(h))
+
+    def test_chunking_is_irrelevant(self, stream_dataset):
+        one = build_tree_from_chunks([stream_dataset.points])
+        many = build_tree_from_chunks(np.array_split(stream_dataset.points, 50))
+        for h in one.levels:
+            assert _levels_equal(one.level(h), many.level(h))
+
+    def test_empty_chunks_are_skipped(self, stream_dataset):
+        chunks = [np.empty((0, 7)), stream_dataset.points, np.empty((0, 7))]
+        tree = build_tree_from_chunks(chunks)
+        assert tree.n_points == stream_dataset.n_points
+
+    def test_rejects_empty_stream(self):
+        with pytest.raises(ValueError, match="no points"):
+            build_tree_from_chunks([])
+
+    def test_rejects_mismatched_dimensionality(self):
+        with pytest.raises(ValueError, match="dimensionality"):
+            build_tree_from_chunks([np.zeros((2, 3)), np.zeros((2, 4))])
+
+    def test_rejects_unnormalised_chunk(self):
+        with pytest.raises(ValueError, match="normalise"):
+            build_tree_from_chunks([np.full((2, 3), 1.5)])
+
+
+class TestStreamingPipeline:
+    def test_fit_and_label_match_batch_mrcc(self, stream_dataset):
+        chunks = np.array_split(stream_dataset.points, 6)
+        _, betas = fit_stream(chunks)
+        streamed = label_stream(chunks, betas)
+        batch = MrCC(normalize=False).fit(stream_dataset.points)
+        assert np.array_equal(streamed.labels, batch.labels)
+        assert streamed.n_clusters == batch.n_clusters
+        for a, b in zip(streamed.clusters, batch.clusters):
+            assert a.indices == b.indices
+            assert a.relevant_axes == b.relevant_axes
+
+    def test_label_stream_concatenates_in_order(self, stream_dataset):
+        chunks = np.array_split(stream_dataset.points, 4)
+        _, betas = fit_stream(chunks)
+        result = label_stream(chunks, betas)
+        assert result.labels.shape == (stream_dataset.n_points,)

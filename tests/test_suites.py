@@ -1,0 +1,114 @@
+"""Tests for the named paper dataset suites (Section IV-B groups)."""
+
+import pytest
+
+from repro.data.suites import (
+    base_14d,
+    cluster_sweep,
+    dimensionality_sweep,
+    first_group,
+    first_group_rotated,
+    noise_sweep,
+    point_sweep,
+    suite_by_name,
+)
+
+SCALE = 0.02  # keep suite construction fast in unit tests
+
+
+class TestFirstGroup:
+    def test_names_and_dimensionalities(self):
+        datasets = list(first_group(scale=SCALE))
+        assert [d.name for d in datasets] == [
+            "6d", "8d", "10d", "12d", "14d", "16d", "18d",
+        ]
+        assert [d.dimensionality for d in datasets] == [6, 8, 10, 12, 14, 16, 18]
+
+    def test_points_and_clusters_grow(self):
+        datasets = list(first_group(scale=SCALE))
+        points = [d.n_points for d in datasets]
+        clusters = [d.n_clusters for d in datasets]
+        assert points == sorted(points)
+        assert clusters == sorted(clusters)
+        assert clusters[0] == 2
+        assert clusters[-1] == 17
+
+    def test_noise_is_fifteen_percent(self):
+        for dataset in first_group(scale=SCALE):
+            assert dataset.noise_fraction == pytest.approx(0.15, abs=0.02)
+
+
+class TestBase14d:
+    def test_paper_anchor_values_at_full_scale(self):
+        dataset = base_14d(scale=1.0)
+        assert dataset.dimensionality == 14
+        assert dataset.n_points == 90_000
+        assert dataset.n_clusters == 17
+        assert dataset.noise_fraction == pytest.approx(0.15, abs=0.005)
+
+
+class TestSweeps:
+    def test_point_sweep_names(self):
+        names = [d.name for d in point_sweep(scale=SCALE)]
+        assert names == ["50k", "100k", "150k", "200k", "250k"]
+
+    def test_point_sweep_scales_points(self):
+        points = [d.n_points for d in point_sweep(scale=SCALE)]
+        assert points == sorted(points)
+        assert points[-1] == pytest.approx(250_000 * SCALE, rel=0.05)
+
+    def test_cluster_sweep_varies_only_clusters(self):
+        datasets = list(cluster_sweep(scale=SCALE))
+        assert [d.n_clusters for d in datasets] == [5, 10, 15, 20, 25]
+        assert len({d.dimensionality for d in datasets}) == 1
+
+    def test_dimensionality_sweep(self):
+        datasets = list(dimensionality_sweep(scale=SCALE))
+        assert [d.dimensionality for d in datasets] == [5, 10, 15, 20, 25, 30]
+        assert [d.name for d in datasets] == [
+            "5d_s", "10d_s", "15d_s", "20d_s", "25d_s", "30d_s",
+        ]
+
+    def test_dimensionality_sweep_keeps_clusters_detectable(self):
+        """Beyond 18 axes the cluster dims must grow with d so no
+        cluster has more than ~5 irrelevant axes (DESIGN.md 1.3)."""
+        for dataset in dimensionality_sweep(scale=SCALE):
+            for cluster in dataset.clusters:
+                n_irrelevant = dataset.dimensionality - cluster.dimensionality
+                assert n_irrelevant <= 5
+
+    def test_noise_sweep(self):
+        datasets = list(noise_sweep(scale=SCALE))
+        fractions = [d.noise_fraction for d in datasets]
+        assert fractions == sorted(fractions)
+        assert fractions[0] == pytest.approx(0.05, abs=0.02)
+        assert fractions[-1] == pytest.approx(0.25, abs=0.02)
+
+
+class TestRotatedGroup:
+    def test_names_follow_paper(self):
+        names = [d.name for d in first_group_rotated(scale=SCALE)]
+        assert names[0] == "6d_r"
+        assert names[-1] == "18d_r"
+
+    def test_marked_rotated(self):
+        dataset = next(iter(first_group_rotated(scale=SCALE)))
+        assert dataset.metadata["rotated"] is True
+
+
+class TestSuiteByName:
+    def test_known_names(self):
+        for name in ("first_group", "rotated", "points", "clusters",
+                     "dimensionality", "noise"):
+            datasets = list(suite_by_name(name, scale=SCALE))
+            assert datasets
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(ValueError, match="first_group"):
+            suite_by_name("nope")
+
+    def test_scaling_preserves_structure(self):
+        small = list(suite_by_name("clusters", scale=SCALE))
+        smaller = list(suite_by_name("clusters", scale=SCALE / 2))
+        assert [d.n_clusters for d in small] == [d.n_clusters for d in smaller]
+        assert all(a.n_points >= b.n_points for a, b in zip(small, smaller))

@@ -1,0 +1,69 @@
+"""Tests for the Section IV-F aggregate summaries."""
+
+import pytest
+
+from repro.experiments.summary import (
+    load_rows_json,
+    memory_table,
+    quality_table,
+    save_rows_json,
+    speedup_table,
+)
+
+
+def _rows():
+    return [
+        {"method": "MrCC", "dataset": "6d", "seconds": 1.0, "peak_kb": 100.0,
+         "quality": 0.95},
+        {"method": "MrCC", "dataset": "8d", "seconds": 2.0, "peak_kb": 200.0,
+         "quality": 0.90},
+        {"method": "HARP", "dataset": "6d", "seconds": 100.0, "peak_kb": 1000.0,
+         "quality": 0.99},
+        {"method": "HARP", "dataset": "8d", "seconds": 800.0, "peak_kb": 4000.0,
+         "quality": 0.98},
+        {"method": "LAC", "dataset": "6d", "seconds": 2.0, "peak_kb": 50.0,
+         "quality": 0.80},
+        {"method": "LAC", "dataset": "8d", "seconds": 8.0, "peak_kb": 100.0,
+         "quality": 0.85},
+    ]
+
+
+class TestSpeedupTable:
+    def test_geometric_mean_ratios(self):
+        table = speedup_table(_rows())
+        assert table["HARP"] == pytest.approx(200.0)  # gm(100, 400)
+        assert table["LAC"] == pytest.approx(2.828, rel=1e-3)  # gm(2, 4)
+
+    def test_base_method_excluded(self):
+        assert "MrCC" not in speedup_table(_rows())
+
+    def test_missing_base_raises(self):
+        with pytest.raises(ValueError, match="base method"):
+            speedup_table(_rows(), base_method="NOPE")
+
+
+class TestMemoryTable:
+    def test_ratios(self):
+        table = memory_table(_rows())
+        assert table["HARP"] == pytest.approx(
+            (10.0 * 20.0) ** 0.5
+        )
+        assert table["LAC"] == pytest.approx(0.5)
+
+
+class TestQualityTable:
+    def test_means(self):
+        table = quality_table(_rows())
+        assert table["MrCC"] == pytest.approx(0.925)
+        assert table["HARP"] == pytest.approx(0.985)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self, tmp_path):
+        rows = _rows()
+        rows[0]["params"] = {"alpha": 1e-10}
+        path = tmp_path / "rows.json"
+        save_rows_json(rows, path)
+        loaded = load_rows_json(path)
+        assert loaded[0]["params"]["alpha"] == 1e-10
+        assert len(loaded) == len(rows)

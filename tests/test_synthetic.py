@@ -1,0 +1,131 @@
+"""Tests for the synthetic dataset generator (Section IV-B recipe)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.synthetic import ClusterSpec, SyntheticDatasetSpec, generate_dataset
+from repro.types import NOISE_LABEL
+
+
+class TestClusterSpec:
+    def test_rejects_empty_axes(self):
+        with pytest.raises(ValueError, match="relevant axis"):
+            ClusterSpec(size=10, relevant_axes=(), means=(), stds=())
+
+    def test_rejects_mismatched_parameters(self):
+        with pytest.raises(ValueError, match="match"):
+            ClusterSpec(size=10, relevant_axes=(0, 1), means=(0.5,), stds=(0.1, 0.1))
+
+    def test_rejects_non_positive_std(self):
+        with pytest.raises(ValueError, match="positive"):
+            ClusterSpec(size=10, relevant_axes=(0,), means=(0.5,), stds=(0.0,))
+
+
+class TestSpecValidation:
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ValueError, match="too few points"):
+            SyntheticDatasetSpec(dimensionality=5, n_points=10, n_clusters=5)
+
+    def test_rejects_bad_noise_fraction(self):
+        with pytest.raises(ValueError, match="noise_fraction"):
+            SyntheticDatasetSpec(noise_fraction=1.0)
+
+    def test_effective_dims_respect_irrelevant_budget(self):
+        spec = SyntheticDatasetSpec(
+            dimensionality=14, min_irrelevant=1, max_irrelevant=5
+        )
+        lo, hi = spec.effective_cluster_dims
+        assert hi == 13  # at least one irrelevant axis
+        assert lo == 9  # at most five irrelevant axes
+
+    def test_effective_dims_clamped_by_window(self):
+        spec = SyntheticDatasetSpec(
+            dimensionality=30,
+            min_cluster_dim=5,
+            max_cluster_dim=17,
+            min_irrelevant=1,
+            max_irrelevant=5,
+        )
+        lo, hi = spec.effective_cluster_dims
+        assert hi == 17
+        assert lo == 17  # the [5, 17] window pins both ends
+
+
+class TestGenerateDataset:
+    def test_shapes_and_ranges(self, medium_dataset):
+        ds = medium_dataset
+        assert ds.points.shape == (4000, 10)
+        assert np.all(ds.points >= 0.0)
+        assert np.all(ds.points < 1.0)
+
+    def test_ground_truth_is_internally_consistent(self, medium_dataset):
+        medium_dataset.validate()
+
+    def test_noise_fraction_matches_spec(self, medium_dataset):
+        assert medium_dataset.noise_fraction == pytest.approx(0.15, abs=0.01)
+
+    def test_cluster_count_matches_spec(self, medium_dataset):
+        assert medium_dataset.n_clusters == 5
+        assert all(c.size > 0 for c in medium_dataset.clusters)
+
+    def test_deterministic_for_fixed_seed(self):
+        spec = SyntheticDatasetSpec(
+            dimensionality=6, n_points=500, n_clusters=2, seed=3
+        )
+        a = generate_dataset(spec)
+        b = generate_dataset(spec)
+        assert np.array_equal(a.points, b.points)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        base = dict(dimensionality=6, n_points=500, n_clusters=2)
+        a = generate_dataset(SyntheticDatasetSpec(seed=1, **base))
+        b = generate_dataset(SyntheticDatasetSpec(seed=2, **base))
+        assert not np.array_equal(a.points, b.points)
+
+    def test_clusters_concentrated_on_relevant_axes(self, medium_dataset):
+        """Per-axis spread: relevant axes of a cluster must be much
+        tighter than the global spread; irrelevant axes must not."""
+        ds = medium_dataset
+        for cluster in ds.clusters:
+            members = ds.points[sorted(cluster.indices)]
+            stds = members.std(axis=0)
+            relevant = sorted(cluster.relevant_axes)
+            irrelevant = [j for j in range(ds.dimensionality) if j not in relevant]
+            assert max(stds[relevant]) < 0.1
+            if irrelevant:
+                assert min(stds[irrelevant]) > 0.15
+
+    def test_zero_clusters_yields_pure_noise(self):
+        spec = SyntheticDatasetSpec(
+            dimensionality=4, n_points=300, n_clusters=0, noise_fraction=0.0
+        )
+        ds = generate_dataset(spec)
+        assert ds.n_clusters == 0
+        assert np.all(ds.labels == NOISE_LABEL)
+
+    @given(
+        d=st.integers(3, 12),
+        n=st.integers(300, 1200),
+        k=st.integers(1, 5),
+        noise=st.floats(0.0, 0.4),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_generator_invariants(self, d, n, k, noise, seed):
+        ds = generate_dataset(
+            SyntheticDatasetSpec(
+                dimensionality=d,
+                n_points=n,
+                n_clusters=k,
+                noise_fraction=noise,
+                seed=seed,
+            )
+        )
+        ds.validate()
+        assert ds.n_points == n
+        assert ds.n_clusters == k
+        sizes = sum(c.size for c in ds.clusters)
+        assert sizes == n - int(round(n * noise))
