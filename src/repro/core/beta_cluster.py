@@ -27,7 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.convolution import convolve_level, level_responses, overlap_mask
+from repro.core.convolution import level_responses, overlap_rows
 from repro.core.counting_tree import CountingTree
 from repro.core.hypothesis_test import (
     neighborhood_counts,
@@ -78,16 +78,27 @@ class BetaCluster:
 class _SearchState:
     """Per-level caches reused across Algorithm 2's restarts.
 
-    Convolution responses are static for a fixed tree, and the
-    exclusion mask only ever grows (one new β-cluster box at a time),
-    so both are cached instead of recomputed per restart — the
-    asymptotics match the paper's analysis, with a smaller constant.
+    Three monotone facts make the search incremental: convolution
+    responses are static for a fixed tree, ``usedCell`` flags are only
+    ever set, and the exclusion mask only ever grows (one new β-cluster
+    box at a time).  Each level therefore presorts its rows by
+    (response descending, row ascending) once and keeps a cursor that
+    only moves forward past rows that became used or excluded — the row
+    at the cursor is exactly the masked-argmax
+    :func:`~repro.core.convolution.convolve_level` would recompute over
+    the whole level on every restart, including its lowest-row
+    tie-breaking, at amortised O(cells) for the entire search.
+    Exclusion updates touch only the rows inside the new box's axis-0
+    coordinate range (:func:`~repro.core.convolution.overlap_rows`)
+    instead of re-testing every cell of every level per find.
     """
 
     def __init__(self, tree: CountingTree):
         self.tree = tree
         self._responses: dict[int, np.ndarray] = {}
         self._excluded: dict[int, np.ndarray] = {}
+        self._order: dict[int, np.ndarray] = {}
+        self._cursor: dict[int, int] = {}
 
     def responses(self, h: int) -> np.ndarray:
         if h not in self._responses:
@@ -99,14 +110,39 @@ class _SearchState:
             self._excluded[h] = np.zeros(self.tree.level(h).n_cells, dtype=bool)
         return self._excluded[h]
 
+    _ADVANCE_BLOCK = 1024
+
+    def best_row(self, h: int) -> int:
+        """Best convolution pivot at level ``h``, or -1 when all masked."""
+        if h not in self._order:
+            responses = self.responses(h)
+            m = responses.shape[0]
+            self._order[h] = np.lexsort((np.arange(m), -responses))
+            self._cursor[h] = 0
+        order = self._order[h]
+        used = self.tree.level(h).used
+        excluded = self.excluded(h)
+        cursor = self._cursor[h]
+        m = order.shape[0]
+        # Skip rows that became used/excluded since the last pick, a
+        # block at a time so the scan stays vectorised.
+        while cursor < m:
+            block = order[cursor : cursor + self._ADVANCE_BLOCK]
+            eligible = np.flatnonzero(~(used[block] | excluded[block]))
+            if eligible.size:
+                cursor += int(eligible[0])
+                break
+            cursor += block.shape[0]
+        self._cursor[h] = cursor
+        return int(order[cursor]) if cursor < m else -1
+
     def exclude_box(self, beta: BetaCluster) -> None:
         """Mark every cell overlapping the new β-cluster as claimed."""
-        for h in self._excluded:
-            self._excluded[h] |= overlap_mask(self.tree.level(h), beta.lower, beta.upper)
         for h in self.tree.levels:
-            if h >= 2 and h not in self._excluded:
-                mask = overlap_mask(self.tree.level(h), beta.lower, beta.upper)
-                self._excluded[h] = mask
+            if h >= 2:
+                level = self.tree.level(h)
+                rows = overlap_rows(level, beta.lower, beta.upper)
+                self.excluded(h)[rows] = True
 
 
 _GROWTH_SHARE = 0.5
@@ -202,7 +238,7 @@ def _search_pass(state: _SearchState, alpha: float) -> BetaCluster | None:
         if h < 2:
             continue
         level = tree.level(h)
-        row = convolve_level(tree, h, state.responses(h), state.excluded(h))
+        row = state.best_row(h)
         if row < 0:
             continue
         level.used[row] = True

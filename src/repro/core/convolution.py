@@ -33,13 +33,19 @@ def level_responses(level: Level) -> np.ndarray:
     """
     m, d = level.coords.shape
     responses = (2 * d) * level.n.astype(np.int64)
+    if m <= 1:
+        # A single cell has no materialised neighbours to subtract.
+        return responses
     coords = level.coords
     limit = (1 << level.h) - 1
     counts = level.n
+    # One scratch buffer for all 2d probes; each axis's column is
+    # restored after its two probes instead of re-copying the matrix.
+    shifted = coords.copy()
     for axis in range(d):
+        column = coords[:, axis]
         for delta in (-1, 1):
-            shifted = coords.copy()
-            shifted[:, axis] += delta
+            shifted[:, axis] = column + delta
             valid = (
                 (shifted[:, axis] >= 0) & (shifted[:, axis] <= limit)
             )
@@ -49,6 +55,7 @@ def level_responses(level: Level) -> np.ndarray:
             found = rows >= 0
             targets = np.flatnonzero(valid)[found]
             responses[targets] -= counts[rows[found]]
+        shifted[:, axis] = column
     return responses
 
 
@@ -68,6 +75,62 @@ def overlap_mask(
     """
     lower, upper = cell_bounds(level)
     return np.all((upper >= box_lower) & (lower <= box_upper), axis=1)
+
+
+def overlap_rows(
+    level: Level, box_lower: np.ndarray, box_upper: np.ndarray
+) -> np.ndarray:
+    """Rows of cells sharing data space with one β-cluster box.
+
+    Flags exactly the rows :func:`overlap_mask` flags, at a fraction of
+    the work, by exploiting two facts about β-cluster boxes:
+
+    * an axis whose box bounds span all of ``[0, 1]`` (every irrelevant
+      axis) can never reject a cell, so the per-axis predicate runs
+      only over *binding* axes — the handful the MDL cut kept;
+    * the sorted-key order is lexicographic, so when axis 0 binds, a
+      ``searchsorted`` over the axis-0 coordinate column bounds the
+      candidate rows to the box's axis-0 cell range (with one cell of
+      slack so the exact closed comparison stays authoritative).
+    """
+    n_coords = 1 << level.h
+    cell_lower = np.arange(n_coords) * level.side
+    cell_upper = cell_lower + level.side
+    # The per-axis predicate over all 2^h possible coordinate values.
+    # Each axis admits a contiguous coordinate interval (the predicate
+    # is two one-sided inequalities), so the float test collapses to an
+    # exact integer interval [lo, hi] per axis.
+    ok = (cell_upper[:, None] >= box_lower) & (cell_lower[:, None] <= box_upper)
+    widths = ok.sum(axis=0)
+    if np.any(widths == 0):
+        return np.empty(0, dtype=np.int64)
+    lo = np.argmax(ok, axis=0)
+    hi = lo + widths - 1
+    binding = np.flatnonzero((lo > 0) | (hi < n_coords - 1))
+    if binding.size == 0:
+        return np.arange(level.n_cells, dtype=np.int64)
+
+    coords = level.coords
+    if lo[0] > 0 or hi[0] < n_coords - 1:
+        # Axis 0 binds: the key order is lexicographic, so its cells
+        # sit in one contiguous run of the sorted-key index.
+        axis0 = level.axis0_in_key_order()
+        start = np.searchsorted(axis0, lo[0], side="left")
+        stop = np.searchsorted(axis0, hi[0], side="right")
+        candidates = level._sort_order[start:stop]
+        if candidates.size == 0:
+            return np.empty(0, dtype=np.int64)
+        hit = np.ones(candidates.shape[0], dtype=bool)
+        for axis in binding[1:] if binding[0] == 0 else binding:
+            column = coords[candidates, axis]
+            hit &= (column >= lo[axis]) & (column <= hi[axis])
+        return candidates[hit]
+
+    hit = np.ones(coords.shape[0], dtype=bool)
+    for axis in binding:
+        column = coords[:, axis]
+        hit &= (column >= lo[axis]) & (column <= hi[axis])
+    return np.flatnonzero(hit)
 
 
 def convolve_level(

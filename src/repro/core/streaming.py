@@ -19,7 +19,12 @@ from collections.abc import Iterable
 
 import numpy as np
 
-from repro.core.counting_tree import MIN_RESOLUTIONS, CountingTree, Level
+from repro.core.counting_tree import (
+    MIN_RESOLUTIONS,
+    CountingTree,
+    Level,
+    tree_from_levels,
+)
 from repro.types import ClusteringResult
 
 
@@ -64,7 +69,7 @@ def build_tree_from_chunks(
         h: _finalize_level(h, accumulators[h], d)
         for h in range(1, n_resolutions)
     }
-    return _tree_from_levels(levels, d, n_points, n_resolutions)
+    return tree_from_levels(levels, d, n_points, n_resolutions)
 
 
 def _accumulate_chunk(chunk, n_resolutions, accumulators) -> None:
@@ -107,16 +112,6 @@ def _finalize_level(h: int, table: dict, d: int) -> Level:
         half_counts=halves,
         used=np.zeros(m, dtype=bool),
     )
-
-
-def _tree_from_levels(levels, d, n_points, n_resolutions) -> CountingTree:
-    """Assemble a CountingTree around pre-built levels."""
-    tree = CountingTree.__new__(CountingTree)
-    tree._n_points = n_points
-    tree._d = d
-    tree._H = n_resolutions
-    tree._levels = levels
-    return tree
 
 
 def fit_stream(

@@ -5,9 +5,20 @@ with the best Quality over the method's tuning grid, together with the
 run time (seconds) and memory consumption (KB) of that configuration.
 :func:`run_method_on_dataset` reproduces that protocol; non-deterministic
 methods (CFPC in the paper) average over ``n_repeats`` seeded runs.
+
+:func:`run_suite` can fan the (dataset, method, configuration) grid out
+over worker processes: set ``REPRO_JOBS`` (or pass ``n_jobs``) to the
+worker count.  The default of 1 keeps the exact serial code path, so
+results and timings are unaffected unless parallelism is requested;
+with workers the reduction replays the serial grid order, so every
+deterministic row field matches a serial run (the measured ``seconds``
+and ``peak_kb`` still depend on machine load, as they do serially).
 """
 
 from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
@@ -21,12 +32,26 @@ from repro.experiments.config import (
 )
 from repro.types import Dataset
 
+DEFAULT_N_REPEATS = 3
+"""Seeded repeats for non-deterministic methods (the paper's protocol)."""
+
+
+def jobs_from_env(default: int = 1) -> int:
+    """Worker count for the experiment fan-out (``REPRO_JOBS`` env)."""
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
+        return default
+    jobs = int(raw)
+    if jobs < 1:
+        raise ValueError("REPRO_JOBS must be a positive integer")
+    return jobs
+
 
 def run_method_on_dataset(
     spec: MethodSpec,
     dataset: Dataset,
     profile: str | None = None,
-    n_repeats: int = 3,
+    n_repeats: int = DEFAULT_N_REPEATS,
     track_memory: bool = True,
 ) -> dict:
     """Best-Quality row for one method on one dataset (Section IV-E).
@@ -43,12 +68,16 @@ def run_method_on_dataset(
     if best_row is None:
         raise RuntimeError(f"{spec.name} produced an empty tuning grid")
     if track_memory:
-        # One memory pass on the winning configuration only; the sweep
-        # itself runs untraced so the seconds panel stays undistorted.
-        method = spec.build(dataset, **best_row["params"])
-        memory = measure(lambda: method.fit(dataset.points), track_memory=True)
-        best_row["peak_kb"] = memory.peak_kb
+        _attach_memory_pass(spec, dataset, best_row)
     return best_row
+
+
+def _attach_memory_pass(spec: MethodSpec, dataset: Dataset, row: dict) -> None:
+    """One memory pass on the winning configuration only; the sweep
+    itself runs untraced so the seconds panel stays undistorted."""
+    method = spec.build(dataset, **row["params"])
+    memory = measure(lambda: method.fit(dataset.points), track_memory=True)
+    row["peak_kb"] = memory.peak_kb
 
 
 def _run_configuration(
@@ -94,23 +123,103 @@ def _run_configuration(
     }
 
 
+def _configuration_task(
+    method_name: str, dataset: Dataset, params: dict, n_repeats: int
+) -> dict:
+    """Worker-side unit: one (dataset, method, configuration) cell.
+
+    ``MethodSpec`` builders are closures and do not pickle, so workers
+    rebuild the registry and look the spec up by name.  Seeded repeats
+    run inside the task, keeping the per-configuration seed sequence of
+    the serial sweep.
+    """
+    spec = method_registry()[method_name]
+    return _run_configuration(spec, dataset, params, n_repeats, track_memory=False)
+
+
 def run_suite(
     datasets,
     methods: tuple[str, ...] = HEADLINE_METHODS,
     profile: str | None = None,
     track_memory: bool = True,
+    n_jobs: int | None = None,
 ) -> list[dict]:
-    """Run the selected methods over a dataset iterable; rows per pair."""
+    """Run the selected methods over a dataset iterable; rows per pair.
+
+    ``n_jobs`` (default: the ``REPRO_JOBS`` environment variable, else
+    1) fans the (dataset, method, configuration) grid over worker
+    processes.  ``n_jobs=1`` runs the untouched serial path.
+    """
     registry = method_registry()
     unknown = [m for m in methods if m not in registry]
     if unknown:
         raise ValueError(f"unknown methods: {unknown}")
-    rows = []
-    for dataset in datasets:
-        for name in methods:
-            rows.append(
-                run_method_on_dataset(
-                    registry[name], dataset, profile=profile, track_memory=track_memory
+    n_jobs = jobs_from_env() if n_jobs is None else int(n_jobs)
+    datasets = list(datasets)
+    if n_jobs <= 1:
+        rows = []
+        for dataset in datasets:
+            for name in methods:
+                rows.append(
+                    run_method_on_dataset(
+                        registry[name], dataset, profile=profile,
+                        track_memory=track_memory,
+                    )
                 )
+        return rows
+    return _run_suite_parallel(
+        datasets, methods, registry, profile, track_memory, n_jobs
+    )
+
+
+def _run_suite_parallel(
+    datasets: list[Dataset],
+    methods: tuple[str, ...],
+    registry: dict[str, MethodSpec],
+    profile: str | None,
+    track_memory: bool,
+    n_jobs: int,
+) -> list[dict]:
+    """Fan the configuration grid over processes; reduce to best rows.
+
+    The reduction walks tasks in the serial sweep order and keeps the
+    strictly-better row, which reproduces the serial tie-breaking
+    (first grid entry wins ties); the optional memory pass happens in
+    the parent on winning configurations only, exactly as serially.
+    """
+    profile = profile or profile_from_env()
+    tasks: list[tuple[int, str, dict]] = []
+    for dataset_index, dataset in enumerate(datasets):
+        for name in methods:
+            for params in registry[name].grid(dataset, profile):
+                tasks.append((dataset_index, name, params))
+
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        futures = [
+            pool.submit(
+                _configuration_task,
+                name,
+                datasets[dataset_index],
+                params,
+                DEFAULT_N_REPEATS,
             )
+            for dataset_index, name, params in tasks
+        ]
+        results = [future.result() for future in futures]
+
+    best: dict[tuple[int, str], dict] = {}
+    for (dataset_index, name, _), row in zip(tasks, results):
+        key = (dataset_index, name)
+        if key not in best or row["quality"] > best[key]["quality"]:
+            best[key] = row
+
+    rows = []
+    for dataset_index, dataset in enumerate(datasets):
+        for name in methods:
+            if (dataset_index, name) not in best:
+                raise RuntimeError(f"{name} produced an empty tuning grid")
+            row = best[(dataset_index, name)]
+            if track_memory:
+                _attach_memory_pass(registry[name], dataset, row)
+            rows.append(row)
     return rows
