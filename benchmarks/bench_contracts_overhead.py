@@ -1,0 +1,77 @@
+"""Contract-overhead guard: runtime checks must stay under 2% of fit.
+
+The runtime contracts (:mod:`repro.core.contracts`) scan the input once
+per public call — O(η·d) against a fit path that builds the full
+Counting-tree and runs the β-cluster search over every level.  This
+module times ``MrCC.fit`` on the η=100k workload (scaled by
+``REPRO_SCALE`` like every other bench; ``REPRO_SCALE=1`` restores the
+full size) with the data-scan contracts enabled versus switched off via
+:func:`repro.core.contracts.disabled`, and asserts the gap stays below
+2% — with a small absolute floor so timer noise on fast scaled-down
+runs cannot flake the guard.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.contracts import disabled, enabled
+from repro.core.mrcc import MrCC
+
+from _harness import bench_scale, emit
+
+_ROUNDS = 3
+# Sub-second fits are dominated by timer and allocator noise; below this
+# floor the relative bound is meaningless, so a small absolute slack
+# applies on top of the 2% band.
+_ABSOLUTE_FLOOR_SECONDS = 0.05
+
+
+def _workload(eta: int, d: int = 12, n_clusters: int = 8, seed: int = 11):
+    rng = np.random.default_rng(seed)
+    per_cluster = int(eta * 0.85) // n_clusters
+    parts = [
+        rng.normal(rng.uniform(0.15, 0.85, size=d), 0.02, size=(per_cluster, d))
+        for _ in range(n_clusters)
+    ]
+    parts.append(rng.uniform(0, 1, size=(eta - n_clusters * per_cluster, d)))
+    return np.clip(np.vstack(parts), 0.0, np.nextafter(1.0, 0.0))
+
+
+def _best_fit_seconds(points) -> float:
+    best = float("inf")
+    for _ in range(_ROUNDS):
+        model = MrCC(normalize=False)
+        start = time.perf_counter()
+        model.fit(points)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_contract_overhead_below_two_percent():
+    eta = max(10_000, int(100_000 * bench_scale()))
+    points = _workload(eta)
+
+    assert enabled(), "contracts must be on for the enabled measurement"
+    with_contracts = _best_fit_seconds(points)
+    with disabled():
+        without_contracts = _best_fit_seconds(points)
+
+    overhead = with_contracts - without_contracts
+    relative = overhead / without_contracts
+    emit(
+        "contracts_overhead",
+        "\n".join(
+            [
+                f"eta={eta}",
+                f"fit_with_contracts_s={with_contracts:.4f}",
+                f"fit_without_contracts_s={without_contracts:.4f}",
+                f"overhead_s={overhead:.4f}",
+                f"overhead_relative={relative:+.4%}",
+            ]
+        ),
+    )
+    assert overhead <= 0.02 * without_contracts + _ABSOLUTE_FLOOR_SECONDS, (
+        f"contract overhead {relative:+.2%} exceeds the 2% budget "
+        f"({with_contracts:.4f}s vs {without_contracts:.4f}s)"
+    )

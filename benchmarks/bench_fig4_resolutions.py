@@ -5,13 +5,11 @@ beyond ``H = 4``, memory grows linearly with ``H`` and run time grows
 super-linearly — so small ``H`` is the right default.
 """
 
-import numpy as np
-
 from repro.data.suites import first_group
 from repro.experiments.report import format_series
 from repro.experiments.sensibility import resolution_sweep
 
-from _harness import bench_scale, emit, series_of
+from _harness import bench_scale, emit
 
 H_VALUES = (4, 5, 6, 8, 10)
 

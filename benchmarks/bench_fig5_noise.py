@@ -5,8 +5,6 @@ Shape claims: MrCC's Quality stays essentially flat as noise grows from
 faster than the super-linear competitors on every dataset of the sweep.
 """
 
-import numpy as np
-
 from repro.experiments.report import format_series
 from repro.experiments.synthetic_suite import PANEL_METRICS, run_figure_row
 

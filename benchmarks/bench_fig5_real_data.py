@@ -7,8 +7,6 @@ degenerates on this data (everything in one cluster), which is why the
 paper excludes it from the table.
 """
 
-import numpy as np
-
 from repro.experiments.real_data import check_lac_degenerates, run_real_data_table
 from repro.experiments.report import format_table
 

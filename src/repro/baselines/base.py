@@ -12,38 +12,47 @@ import abc
 
 import numpy as np
 
-from repro.types import ClusteringResult
+from repro.core.contracts import check_array, check_labels
+from repro.types import ClusteringResult, FloatArray, IntArray, SubspaceCluster
 
 
 class SubspaceClusterer(abc.ABC):
     """Base class: a subspace/projected clustering algorithm.
 
     Subclasses implement :meth:`_fit` over a validated float array; the
-    public :meth:`fit` handles input checking and stores ``labels_``
-    and ``clusters_`` like the MrCC estimator does.
+    public :meth:`fit` handles input checking (via the core's runtime
+    contracts), validates the returned label vector, and stores
+    ``labels_`` and ``clusters_`` like the MrCC estimator does.
     """
 
     #: Short display name used by the experiment reports.
     name: str = "base"
 
-    def fit(self, points: np.ndarray) -> ClusteringResult:
+    labels_: IntArray | None = None
+    clusters_: list[SubspaceCluster] | None = None
+
+    def fit(self, points: FloatArray) -> ClusteringResult:
         """Cluster ``points`` (shape ``(n_points, d)``) and store results."""
         points = np.asarray(points, dtype=np.float64)
-        if points.ndim != 2:
-            raise ValueError("points must be a 2-d array of shape (n_points, d)")
+        check_array("points", points, dtype=np.float64, ndim=2, finite=True)
         if points.shape[0] == 0:
             raise ValueError("cannot cluster an empty dataset")
         result = self._fit(points)
+        check_labels(
+            f"{type(self).__name__} labels",
+            result.labels,
+            n_points=points.shape[0],
+        )
         self.labels_ = result.labels
         self.clusters_ = result.clusters
         return result
 
-    def fit_predict(self, points: np.ndarray) -> np.ndarray:
+    def fit_predict(self, points: FloatArray) -> IntArray:
         """Cluster ``points`` and return only the label vector."""
         return self.fit(points).labels
 
     @abc.abstractmethod
-    def _fit(self, points: np.ndarray) -> ClusteringResult:
+    def _fit(self, points: FloatArray) -> ClusteringResult:
         """Algorithm body; ``points`` is a validated float64 array."""
 
     def __repr__(self) -> str:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable
+
 import numpy as np
 
 from repro.types import NOISE_LABEL, ClusteringResult, SubspaceCluster
@@ -49,7 +51,7 @@ def relabel_compact(labels: np.ndarray) -> np.ndarray:
 
 def result_from_labels(
     labels: np.ndarray,
-    axes_for_label,
+    axes_for_label: Callable[[int], Iterable[int]],
     extras: dict | None = None,
 ) -> ClusteringResult:
     """Build a :class:`ClusteringResult` from labels plus an axis lookup.

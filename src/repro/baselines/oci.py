@@ -114,7 +114,7 @@ def epd_shape(values: np.ndarray) -> float:
 
 def bimodality_valley(
     values: np.ndarray, n_bins: int = 32, mass_floor: float = 0.1
-):
+) -> tuple[float, float]:
     """Locate the deepest density valley between two modes.
 
     Returns ``(score, threshold)``: the valley's relative depth (0 when

@@ -23,7 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.data.suites import first_group, suite_by_name
+from repro.data.suites import first_group
 from repro.experiments.real_data import run_real_data_table
 from repro.experiments.report import format_series, format_table
 from repro.experiments.sensibility import alpha_sweep, resolution_sweep

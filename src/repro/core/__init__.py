@@ -17,6 +17,12 @@ Phases (Section III):
 """
 
 from repro.core.beta_cluster import BetaCluster, find_beta_clusters
+from repro.core.contracts import (
+    ContractError,
+    check_array,
+    check_labels,
+    check_level,
+)
 from repro.core.convolution import convolve_level
 from repro.core.counting_tree import CountingTree
 from repro.core.correlation_cluster import build_correlation_clusters
@@ -32,6 +38,10 @@ from repro.core.soft import SoftMrCC
 from repro.core.streaming import build_tree_from_chunks, fit_stream, label_stream
 
 __all__ = [
+    "ContractError",
+    "check_array",
+    "check_labels",
+    "check_level",
     "CountingTree",
     "convolve_level",
     "critical_value",

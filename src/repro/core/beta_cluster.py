@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.contracts import check_probability
 from repro.core.convolution import level_responses, overlap_rows
 from repro.core.counting_tree import CountingTree
 from repro.core.hypothesis_test import (
@@ -34,6 +35,7 @@ from repro.core.hypothesis_test import (
     significant_axes,
 )
 from repro.core.mdl import mdl_cut_threshold
+from repro.types import BoolArray, FloatArray, IntArray
 
 
 @dataclass(frozen=True)
@@ -47,12 +49,12 @@ class BetaCluster:
     useful for diagnostics and tests.
     """
 
-    lower: np.ndarray
-    upper: np.ndarray
-    relevant: np.ndarray
+    lower: FloatArray
+    upper: FloatArray
+    relevant: BoolArray
     level: int
     center_row: int
-    relevances: np.ndarray
+    relevances: FloatArray
 
     @property
     def relevant_axes(self) -> frozenset[int]:
@@ -93,19 +95,19 @@ class _SearchState:
     instead of re-testing every cell of every level per find.
     """
 
-    def __init__(self, tree: CountingTree):
+    def __init__(self, tree: CountingTree) -> None:
         self.tree = tree
-        self._responses: dict[int, np.ndarray] = {}
-        self._excluded: dict[int, np.ndarray] = {}
-        self._order: dict[int, np.ndarray] = {}
+        self._responses: dict[int, IntArray] = {}
+        self._excluded: dict[int, BoolArray] = {}
+        self._order: dict[int, IntArray] = {}
         self._cursor: dict[int, int] = {}
 
-    def responses(self, h: int) -> np.ndarray:
+    def responses(self, h: int) -> IntArray:
         if h not in self._responses:
             self._responses[h] = level_responses(self.tree.level(h))
         return self._responses[h]
 
-    def excluded(self, h: int) -> np.ndarray:
+    def excluded(self, h: int) -> BoolArray:
         if h not in self._excluded:
             self._excluded[h] = np.zeros(self.tree.level(h).n_cells, dtype=bool)
         return self._excluded[h]
@@ -117,7 +119,9 @@ class _SearchState:
         if h not in self._order:
             responses = self.responses(h)
             m = responses.shape[0]
-            self._order[h] = np.lexsort((np.arange(m), -responses))
+            self._order[h] = np.lexsort(
+                (np.arange(m, dtype=np.int64), -responses)
+            )
             self._cursor[h] = 0
         order = self._order[h]
         used = self.tree.level(h).used
@@ -162,8 +166,8 @@ leaves comparable mass on both sides of the boundary."""
 
 
 def _grow_bounds(
-    tree: CountingTree, h: int, row: int, relevant: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
+    tree: CountingTree, h: int, row: int, relevant: BoolArray
+) -> tuple[FloatArray, FloatArray]:
     """Derive the β-cluster's ``L``/``U`` rows from the centre cell.
 
     Relevant axes start at the centre cell's bounds and are stretched by
@@ -173,8 +177,8 @@ def _grow_bounds(
     """
     level = tree.level(h)
     d = tree.dimensionality
-    lower = np.zeros(d)
-    upper = np.ones(d)
+    lower = np.zeros(d, dtype=np.float64)
+    upper = np.ones(d, dtype=np.float64)
     cell_lower, cell_upper = level.bounds(row)
     side = level.side
     occupancy = level.n_cells / float((1 << level.h) ** min(d, 62))
@@ -215,6 +219,7 @@ def find_beta_clusters(
     -------
     β-clusters in discovery order.
     """
+    check_probability("alpha", alpha)
     state = _SearchState(tree)
     found: list[BetaCluster] = []
     search_levels = [h for h in tree.levels if h >= 2]

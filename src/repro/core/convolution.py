@@ -22,9 +22,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.counting_tree import CountingTree, Level
+from repro.types import BoolArray, FloatArray, IntArray
 
 
-def level_responses(level: Level) -> np.ndarray:
+def level_responses(level: Level) -> IntArray:
     """Convolved value of every cell at ``level`` (static per tree).
 
     Neighbour counts are gathered with one vectorised sorted-key join
@@ -59,15 +60,15 @@ def level_responses(level: Level) -> np.ndarray:
     return responses
 
 
-def cell_bounds(level: Level) -> tuple[np.ndarray, np.ndarray]:
+def cell_bounds(level: Level) -> tuple[FloatArray, FloatArray]:
     """Lower/upper bounds of every cell at ``level`` in data space."""
     lower = level.coords * level.side
     return lower, lower + level.side
 
 
 def overlap_mask(
-    level: Level, box_lower: np.ndarray, box_upper: np.ndarray
-) -> np.ndarray:
+    level: Level, box_lower: FloatArray, box_upper: FloatArray
+) -> BoolArray:
     """Boolean mask of cells sharing data space with one β-cluster box.
 
     A cell with bounds ``[l, u]`` shares space with box ``[L, U]`` iff
@@ -78,8 +79,8 @@ def overlap_mask(
 
 
 def overlap_rows(
-    level: Level, box_lower: np.ndarray, box_upper: np.ndarray
-) -> np.ndarray:
+    level: Level, box_lower: FloatArray, box_upper: FloatArray
+) -> IntArray:
     """Rows of cells sharing data space with one β-cluster box.
 
     Flags exactly the rows :func:`overlap_mask` flags, at a fraction of
@@ -94,7 +95,7 @@ def overlap_rows(
       slack so the exact closed comparison stays authoritative).
     """
     n_coords = 1 << level.h
-    cell_lower = np.arange(n_coords) * level.side
+    cell_lower = np.arange(n_coords, dtype=np.int64) * level.side
     cell_upper = cell_lower + level.side
     # The per-axis predicate over all 2^h possible coordinate values.
     # Each axis admits a contiguous coordinate interval (the predicate
@@ -117,6 +118,7 @@ def overlap_rows(
         axis0 = level.axis0_in_key_order()
         start = np.searchsorted(axis0, lo[0], side="left")
         stop = np.searchsorted(axis0, hi[0], side="right")
+        assert level._sort_order is not None
         candidates = level._sort_order[start:stop]
         if candidates.size == 0:
             return np.empty(0, dtype=np.int64)
@@ -136,8 +138,8 @@ def overlap_rows(
 def convolve_level(
     tree: CountingTree,
     h: int,
-    responses: np.ndarray,
-    excluded: np.ndarray,
+    responses: IntArray,
+    excluded: BoolArray,
 ) -> int:
     """Pick the best convolution pivot at level ``h``.
 

@@ -18,13 +18,20 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.beta_cluster import BetaCluster
-from repro.types import NOISE_LABEL, ClusteringResult, SubspaceCluster
+from repro.core.contracts import check_labels
+from repro.types import (
+    NOISE_LABEL,
+    ClusteringResult,
+    FloatArray,
+    IntArray,
+    SubspaceCluster,
+)
 
 
 class UnionFind:
     """Minimal union-find with path compression and union by size."""
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         self._parent = list(range(n))
         self._size = [1] * n
 
@@ -71,8 +78,8 @@ def merge_beta_clusters(betas: list[BetaCluster]) -> list[list[int]]:
 
 
 def label_points(
-    points: np.ndarray, betas: list[BetaCluster], groups: list[list[int]]
-) -> np.ndarray:
+    points: FloatArray, betas: list[BetaCluster], groups: list[list[int]]
+) -> IntArray:
     """Partition the dataset: box membership → cluster id, else noise.
 
     Points are tested against member boxes in group order; because the
@@ -95,7 +102,7 @@ def label_points(
 
 
 def build_correlation_clusters(
-    points: np.ndarray, betas: list[BetaCluster]
+    points: FloatArray, betas: list[BetaCluster]
 ) -> ClusteringResult:
     """Run Algorithm 3: merge β-clusters, define axes, label points."""
     if not betas:
@@ -105,8 +112,8 @@ def build_correlation_clusters(
             extras={"n_beta_clusters": 0, "beta_clusters": []},
         )
     groups = merge_beta_clusters(betas)
-    labels = label_points(points, betas, groups)
-    clusters = []
+    labels = check_labels("labels", label_points(points, betas, groups))
+    clusters: list[SubspaceCluster] = []
     for cluster_id, members in enumerate(groups):
         axes: set[int] = set()
         for beta_index in members:

@@ -33,11 +33,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.contracts import check_array
+from repro.types import AnyArray, BoolArray, FloatArray, IntArray
+
 MIN_RESOLUTIONS = 3
 """Algorithm 1 requires ``H >= 3``."""
 
 
-def void_keys(coords: np.ndarray) -> np.ndarray:
+def void_keys(coords: IntArray) -> AnyArray:
     """Encode coordinate rows as comparable fixed-size binary keys.
 
     Big-endian unsigned encoding makes the bytewise comparison of the
@@ -70,19 +73,20 @@ class Level:
     """
 
     h: int
-    coords: np.ndarray
-    n: np.ndarray
-    half_counts: np.ndarray
-    used: np.ndarray
-    _sorted_keys: np.ndarray | None = field(default=None, repr=False)
-    _sort_order: np.ndarray | None = field(default=None, repr=False)
-    _axis0_sorted: np.ndarray | None = field(default=None, repr=False)
+    coords: IntArray
+    n: IntArray
+    half_counts: IntArray
+    used: BoolArray
+    _sorted_keys: AnyArray | None = field(default=None, repr=False)
+    _sort_order: IntArray | None = field(default=None, repr=False)
+    _axis0_sorted: IntArray | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self._sorted_keys is None:
             keys = void_keys(self.coords)
             self._sort_order = np.argsort(keys)
             self._sorted_keys = keys[self._sort_order]
+        assert self._sort_order is not None
 
     @property
     def n_cells(self) -> int:
@@ -94,16 +98,17 @@ class Level:
         """Cell side length ``ξ_h = 1 / 2**h``."""
         return 1.0 / (1 << self.h)
 
-    def row_of(self, coords: np.ndarray) -> int:
+    def row_of(self, coords: IntArray) -> int:
         """Row index of the cell at ``coords``, or ``-1`` if empty."""
         rows = self.rows_of(np.asarray(coords).reshape(1, -1))
         return int(rows[0])
 
-    def rows_of(self, coords: np.ndarray) -> np.ndarray:
+    def rows_of(self, coords: IntArray) -> IntArray:
         """Vectorised cell lookup: one row index (or -1) per query row."""
         coords = np.asarray(coords)
         if coords.shape[0] == 0:
             return np.empty(0, dtype=np.int64)
+        assert self._sorted_keys is not None and self._sort_order is not None
         queries = void_keys(coords)
         positions = np.searchsorted(self._sorted_keys, queries)
         positions = np.minimum(positions, self._sorted_keys.shape[0] - 1)
@@ -111,7 +116,7 @@ class Level:
         rows = np.where(found, self._sort_order[positions], -1)
         return rows.astype(np.int64)
 
-    def axis0_in_key_order(self) -> np.ndarray:
+    def axis0_in_key_order(self) -> IntArray:
         """Axis-0 coordinates in sorted-key order (cached).
 
         The key order is lexicographic, so this column is
@@ -120,12 +125,13 @@ class Level:
         β-cluster exclusion uses to avoid full-level scans.
         """
         if self._axis0_sorted is None:
+            assert self._sort_order is not None
             self._axis0_sorted = np.ascontiguousarray(
                 self.coords[self._sort_order, 0]
             )
         return self._axis0_sorted
 
-    def count_at(self, coords: np.ndarray) -> int:
+    def count_at(self, coords: IntArray) -> int:
         """Point count of the cell at ``coords`` (0 for empty cells)."""
         row = self.row_of(coords)
         return int(self.n[row]) if row >= 0 else 0
@@ -149,7 +155,7 @@ class Level:
             upper = self.row_of(coords)
         return lower, upper
 
-    def bounds(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+    def bounds(self, row: int) -> tuple[FloatArray, FloatArray]:
         """Lower/upper bounds ``(l_j, u_j)`` of the cell in data space."""
         lower = self.coords[row] * self.side
         return lower, lower + self.side
@@ -174,14 +180,11 @@ class CountingTree:
     ``O(H η d)``, matching Algorithm 1's stated complexity.
     """
 
-    def __init__(self, points: np.ndarray, n_resolutions: int = 4):
+    def __init__(self, points: FloatArray, n_resolutions: int = 4):
         points = np.asarray(points, dtype=np.float64)
-        if points.ndim != 2:
-            raise ValueError("points must be a 2-d array of shape (η, d)")
+        check_array("points", points, dtype=np.float64, ndim=2, unit_box=True)
         if points.shape[0] == 0:
             raise ValueError("cannot build a Counting-tree over zero points")
-        if np.any(points < 0.0) or np.any(points >= 1.0):
-            raise ValueError("points must lie in [0, 1); normalise first")
         if n_resolutions < MIN_RESOLUTIONS:
             raise ValueError(f"n_resolutions must be >= {MIN_RESOLUTIONS}")
 
@@ -234,7 +237,7 @@ class CountingTree:
         return sum(level.n_cells for level in self._levels.values())
 
 
-def bin_points(points: np.ndarray, n_resolutions: int) -> np.ndarray:
+def bin_points(points: FloatArray, n_resolutions: int) -> IntArray:
     """Integer coordinates at the finest half-resolution ``2^H``.
 
     Every coarser level (and every half-space bit) is a right shift of
@@ -245,7 +248,7 @@ def bin_points(points: np.ndarray, n_resolutions: int) -> np.ndarray:
     return base
 
 
-def aggregate_levels(base: np.ndarray, n_resolutions: int) -> dict[int, Level]:
+def aggregate_levels(base: IntArray, n_resolutions: int) -> dict[int, Level]:
     """Build all levels from one binning pass, coarse levels by aggregation.
 
     The η points are grouped into cells once, at half-resolution
@@ -286,15 +289,15 @@ def aggregate_levels(base: np.ndarray, n_resolutions: int) -> dict[int, Level]:
             half_counts=half_counts,
             used=np.zeros(cells.shape[0], dtype=bool),
             _sorted_keys=keys,
-            _sort_order=np.arange(cells.shape[0]),
+            _sort_order=np.arange(cells.shape[0], dtype=np.int64),
         )
         fine_coords, fine_counts = cells, counts
     return {h: levels[h] for h in range(1, n_resolutions)}
 
 
 def _group_rows(
-    coords: np.ndarray,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    coords: IntArray,
+) -> tuple[IntArray, IntArray, IntArray, AnyArray]:
     """Group identical coordinate rows by sorting their packed keys.
 
     Returns ``(cells, order, starts, cell_keys)``: the unique rows in
@@ -315,7 +318,7 @@ def _group_rows(
     return cells, order, starts, sorted_keys[starts]
 
 
-def _reference_build(base: np.ndarray, h: int, n_resolutions: int, d: int) -> Level:
+def _reference_build(base: IntArray, h: int, n_resolutions: int, d: int) -> Level:
     """The seed per-level rescan build of one level (kept as reference).
 
     Re-derives level ``h`` straight from the η per-point coordinates —
@@ -345,7 +348,7 @@ def _reference_build(base: np.ndarray, h: int, n_resolutions: int, d: int) -> Le
 
 
 def reference_levels(
-    base: np.ndarray, n_resolutions: int, d: int
+    base: IntArray, n_resolutions: int, d: int
 ) -> dict[int, Level]:
     """All levels via the seed per-level rescan (reference path)."""
     return {

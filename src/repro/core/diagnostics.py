@@ -10,11 +10,12 @@ estimator already exposes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from repro.core.counting_tree import CountingTree
-from repro.types import NOISE_LABEL, ClusteringResult
+from repro.types import NOISE_LABEL, ClusteringResult, FloatArray
 
 
 @dataclass(frozen=True)
@@ -28,7 +29,7 @@ class LevelProfile:
     mean_count: float
     occupancy: float
 
-    def as_row(self) -> dict:
+    def as_row(self) -> dict[str, Any]:
         """Flatten into a dict suitable for tabular reporting."""
         return {
             "h": self.h,
@@ -47,7 +48,7 @@ def tree_profile(tree: CountingTree) -> list[LevelProfile]:
     (clipped into float range); it collapses towards zero as the grid
     out-grows the data — the effect that keeps the tree linear in ``η``.
     """
-    profiles = []
+    profiles: list[LevelProfile] = []
     for h in tree.levels:
         level = tree.level(h)
         nominal = float(1 << min(h * tree.dimensionality, 1020))
@@ -75,7 +76,7 @@ class ClusterDiagnostics:
     irrelevant_extent: float
     compactness: float
 
-    def as_row(self) -> dict:
+    def as_row(self) -> dict[str, Any]:
         """Flatten into a dict suitable for tabular reporting."""
         return {
             "cluster": self.cluster_id,
@@ -88,7 +89,7 @@ class ClusterDiagnostics:
 
 
 def cluster_diagnostics(
-    result: ClusteringResult, points: np.ndarray
+    result: ClusteringResult, points: FloatArray
 ) -> list[ClusterDiagnostics]:
     """Per-cluster compactness report.
 
@@ -99,10 +100,14 @@ def cluster_diagnostics(
     """
     points = np.asarray(points, dtype=np.float64)
     d = points.shape[1]
-    reports = []
+    reports: list[ClusterDiagnostics] = []
     for k, cluster in enumerate(result.clusters):
         members = points[np.asarray(sorted(cluster.indices), dtype=np.int64)]
-        stds = members.std(axis=0) if members.shape[0] > 1 else np.zeros(d)
+        stds = (
+            members.std(axis=0)
+            if members.shape[0] > 1
+            else np.zeros(d, dtype=np.float64)
+        )
         relevant = sorted(cluster.relevant_axes)
         irrelevant = [j for j in range(d) if j not in cluster.relevant_axes]
         relevant_extent = float(stds[relevant].mean()) if relevant else 0.0
@@ -124,8 +129,8 @@ def cluster_diagnostics(
 
 
 def membership_confidence(
-    result: ClusteringResult, points: np.ndarray
-) -> np.ndarray:
+    result: ClusteringResult, points: FloatArray
+) -> FloatArray:
     """Per-point confidence in ``[0, 1]``.
 
     A clustered point's confidence decays with its standardised
@@ -134,7 +139,7 @@ def membership_confidence(
     for manual review (see the screening example).
     """
     points = np.asarray(points, dtype=np.float64)
-    confidence = np.zeros(points.shape[0])
+    confidence = np.zeros(points.shape[0], dtype=np.float64)
     for k, cluster in enumerate(result.clusters):
         members = np.asarray(sorted(cluster.indices), dtype=np.int64)
         axes = sorted(cluster.relevant_axes)

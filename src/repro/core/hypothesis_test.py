@@ -22,6 +22,7 @@ import numpy as np
 from scipy import stats
 
 from repro.core.counting_tree import CountingTree
+from repro.types import BoolArray, FloatArray, IntArray
 
 CENTER_PROBABILITY = 1.0 / 6.0
 """Chance that a uniform point lands in the central of the six regions."""
@@ -47,8 +48,10 @@ def critical_value(n_points: int, alpha: float) -> int:
 
 
 def critical_values(
-    n_points: np.ndarray, alpha: float, probability=CENTER_PROBABILITY
-) -> np.ndarray:
+    n_points: IntArray,
+    alpha: float,
+    probability: float | FloatArray = CENTER_PROBABILITY,
+) -> IntArray:
     """Vectorised :func:`critical_value` over arrays of ``nP_j`` (and,
     optionally, per-axis null probabilities)."""
     n_points = np.asarray(n_points, dtype=np.int64)
@@ -73,11 +76,11 @@ class NeighborhoodCounts:
     every parent cell borders the space.
     """
 
-    center: np.ndarray
-    total: np.ndarray
-    probability: np.ndarray
+    center: IntArray
+    total: IntArray
+    probability: FloatArray
 
-    def relevances(self) -> np.ndarray:
+    def relevances(self) -> FloatArray:
         """The paper's relevance array ``r[j] = 100 * cP_j / nP_j``.
 
         Relevances live in ``(0, 100]``; axes whose neighbourhood is
@@ -128,7 +131,7 @@ def neighborhood_counts(tree: CountingTree, h: int, row: int) -> NeighborhoodCou
 
 def significant_axes(
     counts: NeighborhoodCounts, alpha: float
-) -> np.ndarray:
+) -> BoolArray:
     """Boolean mask of axes where ``cP_j`` beats the critical value."""
     theta = critical_values(counts.total, alpha, probability=counts.probability)
     return counts.center > theta

@@ -21,15 +21,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.types import FloatArray
 
-MODEL_BITS_PER_PARTITION = np.log2(100.0)
+MODEL_BITS_PER_PARTITION = float(np.log2(100.0))
 """Two-part MDL: each non-empty partition pays for its own summary (a
 mean over the (0, 100] relevance range).  Without this model cost a cut
 would "pay off" on any non-constant array, splitting even homogeneous
 relevance arrays whose axes are all equally relevant."""
 
 
-def partition_cost(values: np.ndarray) -> float:
+def partition_cost(values: FloatArray) -> float:
     """Bits to encode ``values`` as deviations from their mean."""
     if values.size == 0:
         return 0.0
@@ -37,7 +38,7 @@ def partition_cost(values: np.ndarray) -> float:
     return MODEL_BITS_PER_PARTITION + float(np.sum(np.log2(1.0 + deviations)))
 
 
-def mdl_cut_position(sorted_values: np.ndarray) -> int:
+def mdl_cut_position(sorted_values: FloatArray) -> int:
     """Best cut position ``p`` (1-based, ``1 <= p <= d``).
 
     The right partition starts at (0-based) index ``p - 1``.  Ties are
@@ -51,7 +52,7 @@ def mdl_cut_position(sorted_values: np.ndarray) -> int:
     if np.any(np.diff(values) < 0):
         raise ValueError("values must be sorted ascending")
     best_p = 1
-    best_cost = np.inf
+    best_cost = float("inf")
     for p in range(1, d + 1):
         cost = partition_cost(values[: p - 1]) + partition_cost(values[p - 1 :])
         if cost < best_cost - 1e-12:
@@ -60,7 +61,7 @@ def mdl_cut_position(sorted_values: np.ndarray) -> int:
     return best_p
 
 
-def mdl_cut_threshold(relevances: np.ndarray) -> float:
+def mdl_cut_threshold(relevances: FloatArray) -> float:
     """The relevance threshold ``cThreshold`` chosen by MDL.
 
     Sorts ``relevances`` ascending and returns ``o[p]`` for the best

@@ -29,11 +29,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.beta_cluster import find_beta_clusters
+from repro.core.beta_cluster import BetaCluster, find_beta_clusters
+from repro.core.contracts import check_array, check_labels
 from repro.core.correlation_cluster import build_correlation_clusters
 from repro.core.counting_tree import MIN_RESOLUTIONS, CountingTree
 from repro.data.normalize import minmax_normalize
-from repro.types import ClusteringResult
+from repro.types import ClusteringResult, FloatArray, IntArray, SubspaceCluster
 
 DEFAULT_ALPHA = 1e-10
 DEFAULT_RESOLUTIONS = 4
@@ -72,7 +73,7 @@ class MrCC:
         n_resolutions: int = DEFAULT_RESOLUTIONS,
         normalize: bool = True,
         max_beta_clusters: int | None = None,
-    ):
+    ) -> None:
         if not 0.0 < alpha < 1.0:
             raise ValueError("alpha must be in (0, 1)")
         if n_resolutions < MIN_RESOLUTIONS:
@@ -82,13 +83,13 @@ class MrCC:
         self.normalize = bool(normalize)
         self.max_beta_clusters = max_beta_clusters
 
-        self.labels_: np.ndarray | None = None
-        self.clusters_: list | None = None
+        self.labels_: IntArray | None = None
+        self.clusters_: list[SubspaceCluster] | None = None
         self.relevant_axes_: list[frozenset[int]] | None = None
-        self.beta_clusters_: list | None = None
+        self.beta_clusters_: list[BetaCluster] | None = None
         self.tree_: CountingTree | None = None
 
-    def fit(self, points: np.ndarray) -> ClusteringResult:
+    def fit(self, points: FloatArray) -> ClusteringResult:
         """Cluster ``points`` and return the :class:`ClusteringResult`.
 
         The three phases run in sequence: Counting-tree construction
@@ -96,8 +97,7 @@ class MrCC:
         cluster assembly and labelling (Algorithm 3).
         """
         points = np.asarray(points, dtype=np.float64)
-        if points.ndim != 2:
-            raise ValueError("points must be a 2-d array of shape (n_points, d)")
+        check_array("points", points, dtype=np.float64, ndim=2, finite=True)
         if self.normalize:
             points = minmax_normalize(points)
 
@@ -109,11 +109,12 @@ class MrCC:
         result.extras["alpha"] = self.alpha
         result.extras["n_resolutions"] = self.n_resolutions
 
+        check_labels("labels", result.labels, n_points=points.shape[0])
         self.labels_ = result.labels
         self.clusters_ = result.clusters
         self.relevant_axes_ = [c.relevant_axes for c in result.clusters]
         return result
 
-    def fit_predict(self, points: np.ndarray) -> np.ndarray:
+    def fit_predict(self, points: FloatArray) -> IntArray:
         """Cluster ``points`` and return only the label vector."""
         return self.fit(points).labels

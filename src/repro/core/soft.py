@@ -32,10 +32,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.beta_cluster import BetaCluster, _SearchState, _search_pass
+from repro.core.contracts import check_array
 from repro.core.correlation_cluster import UnionFind
 from repro.core.counting_tree import MIN_RESOLUTIONS, CountingTree
 from repro.data.normalize import minmax_normalize
-from repro.types import ClusteringResult, NOISE_LABEL, SubspaceCluster
+from repro.types import (
+    NOISE_LABEL,
+    ClusteringResult,
+    FloatArray,
+    IntArray,
+    SubspaceCluster,
+)
 
 
 def find_beta_clusters_soft(
@@ -82,7 +89,9 @@ def _interval_jaccard(beta_a: BetaCluster, beta_b: BetaCluster) -> float:
     return float(np.min(scores))
 
 
-def merge_soft(betas: list[BetaCluster], jaccard_threshold: float = 0.5):
+def merge_soft(
+    betas: list[BetaCluster], jaccard_threshold: float = 0.5
+) -> list[list[int]]:
     """Group β-clusters whose boxes substantially coincide."""
     uf = UnionFind(len(betas))
     for i in range(len(betas)):
@@ -121,7 +130,7 @@ class SoftMrCC:
         membership_threshold: float = 0.05,
         jaccard_threshold: float = 0.5,
         max_beta_clusters: int = 64,
-    ):
+    ) -> None:
         if not 0.0 < alpha < 1.0:
             raise ValueError("alpha must be in (0, 1)")
         if n_resolutions < MIN_RESOLUTIONS:
@@ -134,14 +143,14 @@ class SoftMrCC:
         self.membership_threshold = float(membership_threshold)
         self.jaccard_threshold = float(jaccard_threshold)
         self.max_beta_clusters = int(max_beta_clusters)
-        self.membership_: np.ndarray | None = None
+        self.membership_: FloatArray | None = None
         self.beta_clusters_: list[BetaCluster] | None = None
+        self.labels_: IntArray | None = None
 
-    def fit(self, points: np.ndarray) -> ClusteringResult:
+    def fit(self, points: FloatArray) -> ClusteringResult:
         """Soft-cluster ``points``; returns the hard-argmax view."""
         points = np.asarray(points, dtype=np.float64)
-        if points.ndim != 2:
-            raise ValueError("points must be a 2-d array of shape (n_points, d)")
+        check_array("points", points, dtype=np.float64, ndim=2, finite=True)
         if self.normalize:
             points = minmax_normalize(points)
 
@@ -161,7 +170,7 @@ class SoftMrCC:
             strong = membership.max(axis=1) >= self.membership_threshold
             labels[strong] = best[strong]
 
-        clusters = []
+        clusters: list[SubspaceCluster] = []
         kept = 0
         remap: dict[int, int] = {}
         axes_per_group = [
@@ -197,10 +206,15 @@ class SoftMrCC:
             },
         )
 
-    def _membership_matrix(self, points, betas, groups) -> np.ndarray:
+    def _membership_matrix(
+        self,
+        points: FloatArray,
+        betas: list[BetaCluster],
+        groups: list[list[int]],
+    ) -> FloatArray:
         """Gaussian membership degree of every point to every group."""
         n = points.shape[0]
-        membership = np.zeros((n, len(groups)))
+        membership = np.zeros((n, len(groups)), dtype=np.float64)
         for g, members in enumerate(groups):
             seeds = np.zeros(n, dtype=bool)
             axes: set[int] = set()
@@ -220,6 +234,6 @@ class SoftMrCC:
             membership[:, g] = np.exp(-0.5 * (z**2).mean(axis=1))
         return membership
 
-    def fit_predict(self, points: np.ndarray) -> np.ndarray:
+    def fit_predict(self, points: FloatArray) -> IntArray:
         """Soft-cluster ``points`` and return the hard-argmax labels."""
         return self.fit(points).labels

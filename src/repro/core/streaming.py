@@ -19,17 +19,18 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from repro.core.contracts import check_array
 from repro.core.counting_tree import (
     MIN_RESOLUTIONS,
     CountingTree,
     Level,
     tree_from_levels,
 )
-from repro.types import ClusteringResult
+from repro.types import ClusteringResult, FloatArray, IntArray
 
 
 def build_tree_from_chunks(
-    chunks: Iterable[np.ndarray], n_resolutions: int = 4
+    chunks: Iterable[FloatArray], n_resolutions: int = 4
 ) -> CountingTree:
     """Build a Counting-tree from an iterable of point chunks.
 
@@ -47,18 +48,21 @@ def build_tree_from_chunks(
     d: int | None = None
     n_points = 0
 
-    for chunk in chunks:
+    for chunk_index, chunk in enumerate(chunks):
         chunk = np.asarray(chunk, dtype=np.float64)
-        if chunk.ndim != 2:
-            raise ValueError("each chunk must be a 2-d array")
+        check_array(
+            f"chunks[{chunk_index}]",
+            chunk,
+            dtype=np.float64,
+            ndim=2,
+            unit_box=True,
+        )
         if chunk.shape[0] == 0:
             continue
         if d is None:
             d = chunk.shape[1]
         elif chunk.shape[1] != d:
             raise ValueError("all chunks must share the same dimensionality")
-        if np.any(chunk < 0.0) or np.any(chunk >= 1.0):
-            raise ValueError("points must lie in [0, 1); normalise first")
         n_points += chunk.shape[0]
         _accumulate_chunk(chunk, n_resolutions, accumulators)
 
@@ -72,7 +76,11 @@ def build_tree_from_chunks(
     return tree_from_levels(levels, d, n_points, n_resolutions)
 
 
-def _accumulate_chunk(chunk, n_resolutions, accumulators) -> None:
+def _accumulate_chunk(
+    chunk: FloatArray,
+    n_resolutions: int,
+    accumulators: dict[int, dict[bytes, tuple[int, IntArray]]],
+) -> None:
     """Merge one chunk's per-level counts into the accumulators."""
     base = np.floor(chunk * (1 << n_resolutions)).astype(np.int64)
     np.clip(base, 0, (1 << n_resolutions) - 1, out=base)
@@ -95,7 +103,9 @@ def _accumulate_chunk(chunk, n_resolutions, accumulators) -> None:
                 table[key] = (int(counts[row]), lower[row].copy())
 
 
-def _finalize_level(h: int, table: dict, d: int) -> Level:
+def _finalize_level(
+    h: int, table: dict[bytes, tuple[int, IntArray]], d: int
+) -> Level:
     """Convert an accumulator table into a packed Level."""
     m = len(table)
     coords = np.empty((m, d), dtype=np.int64)

@@ -40,7 +40,10 @@ def minmax_normalize(points: np.ndarray) -> np.ndarray:
     span = hi - lo
     safe_span = np.where(span > 0.0, span, 1.0)
     scaled = (points - lo) / safe_span
-    scaled[:, span == 0.0] = 0.0
+    # Exact zero span marks a constant column (hi - lo of identical
+    # float64 values is exactly 0.0); a tolerance would squash
+    # near-constant but informative axes.
+    scaled[:, span == 0.0] = 0.0  # repro-lint: disable=R002
     return np.clip(scaled, 0.0, _BELOW_ONE)
 
 

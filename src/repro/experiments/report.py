@@ -74,7 +74,9 @@ def format_series(
 
 def _fmt(value) -> str:
     if isinstance(value, float):
-        if value == 0.0:
+        # Formatting sentinel: render exact 0.0 (an unmeasured field,
+        # not a small number) compactly.
+        if value == 0.0:  # repro-lint: disable=R002
             return "0"
         if abs(value) >= 1000:
             return f"{value:,.0f}"

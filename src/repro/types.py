@@ -18,8 +18,25 @@ Conventions
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Iterable, SupportsInt, Union
 
 import numpy as np
+from numpy.typing import NDArray
+
+FloatArray = NDArray[np.float64]
+"""2-d point matrices, bounds, relevances — everything measured."""
+
+IntArray = NDArray[np.int64]
+"""Cell coordinates, counts, label vectors — everything counted."""
+
+BoolArray = NDArray[np.bool_]
+"""Masks: ``usedCell`` flags, relevance vectors, exclusion masks."""
+
+AnyArray = NDArray[Any]
+"""An array whose dtype is checked at runtime rather than statically."""
+
+DTypeLike = Union[type, np.dtype[Any], str]
+"""Anything ``np.dtype`` accepts; used by the runtime contracts."""
 
 NOISE_LABEL = -1
 """Label assigned to points that belong to no cluster."""
@@ -49,7 +66,9 @@ class SubspaceCluster:
         return len(self.relevant_axes)
 
     @staticmethod
-    def from_iterables(indices, relevant_axes) -> "SubspaceCluster":
+    def from_iterables(
+        indices: Iterable[SupportsInt], relevant_axes: Iterable[SupportsInt]
+    ) -> "SubspaceCluster":
         """Build a cluster from arbitrary iterables of ints."""
         return SubspaceCluster(
             indices=frozenset(int(i) for i in indices),
@@ -74,9 +93,9 @@ class ClusteringResult:
         number of beta-clusters, tuned thresholds, ...).
     """
 
-    labels: np.ndarray
+    labels: IntArray
     clusters: list[SubspaceCluster]
-    extras: dict = field(default_factory=dict)
+    extras: dict[str, Any] = field(default_factory=dict)
 
     @property
     def n_clusters(self) -> int:
@@ -89,7 +108,10 @@ class ClusteringResult:
         return int(np.count_nonzero(self.labels == NOISE_LABEL))
 
     @staticmethod
-    def from_labels(labels, relevant_axes_per_cluster) -> "ClusteringResult":
+    def from_labels(
+        labels: Iterable[SupportsInt] | AnyArray,
+        relevant_axes_per_cluster: Iterable[Iterable[SupportsInt]],
+    ) -> "ClusteringResult":
         """Build a result from a label vector and per-cluster axis sets.
 
         Parameters
@@ -101,7 +123,7 @@ class ClusteringResult:
             Sequence of axis iterables, one per cluster id.
         """
         labels = np.asarray(labels, dtype=np.int64)
-        clusters = []
+        clusters: list[SubspaceCluster] = []
         for k, axes in enumerate(relevant_axes_per_cluster):
             members = np.flatnonzero(labels == k)
             clusters.append(SubspaceCluster.from_iterables(members, axes))
@@ -127,11 +149,11 @@ class Dataset:
         Generation parameters for reporting.
     """
 
-    points: np.ndarray
-    labels: np.ndarray
+    points: FloatArray
+    labels: IntArray
     clusters: list[SubspaceCluster]
     name: str = ""
-    metadata: dict = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
 
     @property
     def n_points(self) -> int:

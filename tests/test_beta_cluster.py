@@ -1,7 +1,6 @@
 """Tests for the β-cluster search (Algorithm 2)."""
 
 import numpy as np
-import pytest
 
 from repro.core.beta_cluster import BetaCluster, find_beta_clusters
 from repro.core.counting_tree import CountingTree

@@ -1,7 +1,6 @@
 """Tests for the Laplacian face-mask convolution (Section III-B)."""
 
 import numpy as np
-import pytest
 
 from repro.core.convolution import (
     cell_bounds,

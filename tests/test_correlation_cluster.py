@@ -1,7 +1,6 @@
 """Tests for correlation-cluster assembly (Algorithm 3)."""
 
 import numpy as np
-import pytest
 
 from repro.core.beta_cluster import BetaCluster
 from repro.core.correlation_cluster import (

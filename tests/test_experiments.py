@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.data.suites import first_group
 from repro.data.synthetic import SyntheticDatasetSpec, generate_dataset
 from repro.experiments.config import (
     HEADLINE_METHODS,

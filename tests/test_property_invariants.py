@@ -7,7 +7,6 @@ monotonically, and the pipeline is deterministic.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

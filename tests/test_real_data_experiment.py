@@ -1,6 +1,5 @@
 """Tests for the Figure 5t real-data experiment driver."""
 
-import pytest
 
 from repro.experiments.real_data import (
     TABLE_METHODS,

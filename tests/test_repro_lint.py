@@ -1,0 +1,292 @@
+"""Tests for the repro-lint static-analysis layer (tools/repro_lint).
+
+Every rule gets a bad fixture (must fire) and a good fixture (must stay
+silent); suppression comments, path scoping and the CLI are exercised,
+and the final test runs the linter over the real tree and asserts the
+repository is violation-free at HEAD.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from tools.repro_lint import RULES, lint_paths, lint_source
+from tools.repro_lint.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+CORE_PATH = "src/repro/core/module.py"
+EXPERIMENTS_PATH = "src/repro/experiments/module.py"
+BASELINES_PATH = "src/repro/baselines/module.py"
+DATA_PATH = "src/repro/data/module.py"
+TEST_PATH = "tests/test_module.py"
+
+
+def codes(source, path=DATA_PATH):
+    return [finding.code for finding in lint_source(source, path)]
+
+
+class TestR001Randomness:
+    BAD_MODULE_CALL = "import numpy as np\nx = np.random.rand(10)\n"
+    BAD_STDLIB = "import random\nx = random.random()\n"
+    BAD_UNSEEDED_RNG = "import numpy as np\nrng = np.random.default_rng()\n"
+    BAD_BARE_RNG = (
+        "from numpy.random import default_rng\nrng = default_rng()\n"
+    )
+    GOOD_SEEDED = "import numpy as np\nrng = np.random.default_rng(42)\n"
+    GOOD_KWARG = "import numpy as np\nrng = np.random.default_rng(seed=7)\n"
+
+    def test_module_level_draw_fires(self):
+        assert codes(self.BAD_MODULE_CALL) == ["R001"]
+
+    def test_stdlib_random_fires(self):
+        assert codes(self.BAD_STDLIB) == ["R001"]
+
+    def test_unseeded_default_rng_fires(self):
+        assert codes(self.BAD_UNSEEDED_RNG) == ["R001"]
+
+    def test_bare_default_rng_fires(self):
+        assert codes(self.BAD_BARE_RNG) == ["R001"]
+
+    def test_seeded_rng_is_clean(self):
+        assert codes(self.GOOD_SEEDED) == []
+        assert codes(self.GOOD_KWARG) == []
+
+    def test_tests_are_exempt(self):
+        assert codes(self.BAD_MODULE_CALL, path=TEST_PATH) == []
+
+    def test_generator_method_calls_are_clean(self):
+        source = "import numpy as np\nrng = np.random.default_rng(0)\nx = rng.random(3)\n"
+        assert codes(source) == []
+
+
+class TestR002FloatEquality:
+    BAD_SCALAR = "def f(x: float) -> bool:\n    return x == 0.5\n"
+    BAD_NOTEQ = "def f(x: float) -> bool:\n    return 1.5 != x\n"
+    GOOD_INT = "def f(x: int) -> bool:\n    return x == 0\n"
+    GOOD_ISCLOSE = (
+        "import math\n\ndef f(x: float) -> bool:\n"
+        "    return math.isclose(x, 0.5)\n"
+    )
+
+    def test_float_literal_eq_fires(self):
+        assert codes(self.BAD_SCALAR) == ["R002"]
+        assert codes(self.BAD_NOTEQ) == ["R002"]
+
+    def test_integer_and_isclose_are_clean(self):
+        assert codes(self.GOOD_INT) == []
+        assert codes(self.GOOD_ISCLOSE) == []
+
+    def test_tests_are_exempt(self):
+        assert codes(self.BAD_SCALAR, path=TEST_PATH) == []
+
+
+class TestR003Determinism:
+    BAD_CLOCK = "import time\nstamp = time.time()\n"
+    BAD_SET_FOR = "total = 0\nfor x in {3, 1, 2}:\n    total += x\n"
+    BAD_SET_LIST = "items = list({3, 1, 2})\n"
+    BAD_SET_CALL = "items = list(set((3, 1, 2)))\n"
+    GOOD_SORTED = "items = sorted({3, 1, 2})\n"
+    GOOD_PERF = "import time\nstart = time.perf_counter()\n"
+
+    def test_wall_clock_fires_in_core(self):
+        assert codes(self.BAD_CLOCK, path=CORE_PATH) == ["R003"]
+
+    def test_set_iteration_fires_in_experiments(self):
+        assert codes(self.BAD_SET_FOR, path=EXPERIMENTS_PATH) == ["R003"]
+        assert codes(self.BAD_SET_LIST, path=EXPERIMENTS_PATH) == ["R003"]
+        assert codes(self.BAD_SET_CALL, path=EXPERIMENTS_PATH) == ["R003"]
+
+    def test_comprehension_over_set_fires(self):
+        source = "doubled = [x * 2 for x in {3, 1, 2}]\n"
+        assert codes(source, path=CORE_PATH) == ["R003"]
+
+    def test_sorted_set_and_perf_counter_are_clean(self):
+        assert codes(self.GOOD_SORTED, path=CORE_PATH) == []
+        assert codes(self.GOOD_PERF, path=CORE_PATH) == []
+
+    def test_rule_only_binds_in_core_and_experiments(self):
+        assert codes(self.BAD_CLOCK, path=DATA_PATH) == []
+        assert codes(self.BAD_SET_FOR, path=BASELINES_PATH) == []
+
+
+class TestR004Annotations:
+    BAD_PARAM = "def fit(points):\n    return points\n"
+    BAD_RETURN = "def fit(points: int):\n    return points\n"
+    GOOD = "def fit(points: int) -> int:\n    return points\n"
+    GOOD_PRIVATE = "def _helper(points):\n    return points\n"
+    GOOD_METHOD = (
+        "class M:\n"
+        "    def fit(self, points: int) -> int:\n"
+        "        return points\n"
+    )
+
+    def test_missing_param_annotation_fires(self):
+        found = codes(self.BAD_PARAM, path=CORE_PATH)
+        assert found == ["R004", "R004"]  # parameter and return
+
+    def test_missing_return_annotation_fires(self):
+        assert codes(self.BAD_RETURN, path=BASELINES_PATH) == ["R004"]
+
+    def test_annotated_function_is_clean(self):
+        assert codes(self.GOOD, path=CORE_PATH) == []
+        assert codes(self.GOOD_METHOD, path=CORE_PATH) == []
+
+    def test_private_functions_are_exempt(self):
+        assert codes(self.GOOD_PRIVATE, path=CORE_PATH) == []
+
+    def test_rule_only_binds_in_core_and_baselines(self):
+        assert codes(self.BAD_PARAM, path=DATA_PATH) == []
+
+    def test_nested_functions_are_exempt(self):
+        source = (
+            "def outer(x: int) -> int:\n"
+            "    def closure(y):\n"
+            "        return y\n"
+            "    return closure(x)\n"
+        )
+        assert codes(source, path=CORE_PATH) == []
+
+
+class TestR005DtypePins:
+    BAD_ZEROS = "import numpy as np\nbuf = np.zeros(10)\n"
+    BAD_ARANGE = "import numpy as np\nidx = np.arange(5)\n"
+    GOOD_KWARG = "import numpy as np\nbuf = np.zeros(10, dtype=np.int64)\n"
+    GOOD_POSITIONAL = "import numpy as np\nbuf = np.zeros(10, np.int64)\n"
+
+    def test_dtypeless_allocation_fires_in_core(self):
+        assert codes(self.BAD_ZEROS, path=CORE_PATH) == ["R005"]
+        assert codes(self.BAD_ARANGE, path=CORE_PATH) == ["R005"]
+
+    def test_pinned_dtype_is_clean(self):
+        assert codes(self.GOOD_KWARG, path=CORE_PATH) == []
+        assert codes(self.GOOD_POSITIONAL, path=CORE_PATH) == []
+
+    def test_rule_only_binds_in_core(self):
+        assert codes(self.BAD_ZEROS, path=BASELINES_PATH) == []
+
+
+class TestR006MutableDefaults:
+    BAD_LIST = "def f(items=[]):\n    return items\n"
+    BAD_DICT = "def f(*, table={}):\n    return table\n"
+    BAD_CALL = "def f(seen=set()):\n    return seen\n"
+    GOOD = "def f(items=None):\n    return items or []\n"
+
+    def test_mutable_defaults_fire(self):
+        assert codes(self.BAD_LIST) == ["R006"]
+        assert codes(self.BAD_DICT) == ["R006"]
+        assert codes(self.BAD_CALL) == ["R006"]
+
+    def test_none_default_is_clean(self):
+        assert codes(self.GOOD) == []
+
+
+class TestSuppression:
+    def test_line_suppression(self):
+        source = "import numpy as np\nx = np.random.rand(3)  # repro-lint: disable=R001\n"
+        assert codes(source) == []
+
+    def test_line_suppression_is_code_specific(self):
+        source = "import numpy as np\nx = np.random.rand(3)  # repro-lint: disable=R005\n"
+        assert codes(source) == ["R001"]
+
+    def test_multi_code_suppression(self):
+        source = (
+            "import numpy as np\n"
+            "def f(x=[]):  # repro-lint: disable=R006, R001\n"
+            "    return np.random.rand(3)\n"
+        )
+        assert codes(source) == ["R001"]
+
+    def test_file_level_suppression(self):
+        source = (
+            "# repro-lint: disable-file=R001\n"
+            "import numpy as np\n"
+            "a = np.random.rand(3)\n"
+            "b = np.random.rand(3)\n"
+        )
+        assert codes(source) == []
+
+    def test_disable_all(self):
+        source = "x = 1.0 == 2.0  # repro-lint: disable=all\n"
+        assert codes(source) == []
+
+
+class TestEngine:
+    def test_syntax_error_reported_not_raised(self):
+        found = lint_source("def broken(:\n", path=DATA_PATH)
+        assert [f.code for f in found] == ["R000"]
+
+    def test_findings_carry_location(self):
+        (finding,) = lint_source(
+            "import numpy as np\nx = np.random.rand(3)\n", path=DATA_PATH
+        )
+        assert finding.line == 2
+        assert finding.code == "R001"
+        assert finding.render().startswith(f"{DATA_PATH}:2:")
+
+    def test_rule_table_has_six_rules(self):
+        assert len([c for c in RULES if c != "R000"]) >= 6
+
+
+class TestRealTree:
+    def test_repository_is_violation_free(self):
+        findings = lint_paths(
+            [
+                REPO_ROOT / "src",
+                REPO_ROOT / "tests",
+                REPO_ROOT / "scripts",
+                REPO_ROOT / "benchmarks",
+            ]
+        )
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main([str(clean)]) == 0
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import numpy as np\nx = np.random.rand(3)\n")
+        assert main([str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out and "dirty.py:2:" in out
+
+    def test_exit_two_on_missing_path(self, tmp_path):
+        assert main([str(tmp_path / "nowhere")]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("R001", "R002", "R003", "R004", "R005", "R006"):
+            assert code in out
+
+    def test_module_entry_point(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "tools.repro_lint", "--list-rules"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "R001" in proc.stdout
+
+
+@pytest.mark.parametrize("code", ["R001", "R002", "R003", "R004", "R005", "R006"])
+def test_every_rule_fires_on_its_bad_fixture(code):
+    """Acceptance: each of the six rules demonstrably fires."""
+    bad_by_code = {
+        "R001": (TestR001Randomness.BAD_MODULE_CALL, DATA_PATH),
+        "R002": (TestR002FloatEquality.BAD_SCALAR, DATA_PATH),
+        "R003": (TestR003Determinism.BAD_CLOCK, CORE_PATH),
+        "R004": (TestR004Annotations.BAD_RETURN, CORE_PATH),
+        "R005": (TestR005DtypePins.BAD_ZEROS, CORE_PATH),
+        "R006": (TestR006MutableDefaults.BAD_LIST, DATA_PATH),
+    }
+    source, path = bad_by_code[code]
+    assert code in codes(source, path=path)

@@ -1,0 +1,61 @@
+"""repro-lint: repo-specific determinism & array-contract static analysis.
+
+The MrCC reproduction's headline claims (bit-identical Alg. 1/2
+equivalence, deterministic ``REPRO_JOBS`` fan-out, the binomial test
+and MDL cut) rest on invariants that generic linters do not know about:
+seeded-RNG discipline across the baselines, ``[0, 1)^d`` float64
+inputs, integer cell coordinates, and no wall-clock or set-order
+dependence inside the core reductions.  ``repro-lint`` walks the
+Python AST of every file under the given paths and enforces those
+invariants as stable, suppressible rules:
+
+========  ==============================================================
+Code      Rule
+========  ==============================================================
+R001      No unseeded randomness outside tests: ``np.random.<fn>``
+          module calls, stdlib ``random.<fn>`` calls, and
+          ``default_rng()`` without an explicit seed are forbidden.
+R002      No ``==``/``!=`` against float literals (use tolerances or
+          integer comparisons).  Tests are exempt: the equivalence
+          suite asserts exact float equality on purpose.
+R003      Determinism in ``src/repro/core`` and
+          ``src/repro/experiments``: no ``time.time``/``datetime.now``
+          wall clocks and no direct iteration over set expressions
+          (wrap in ``sorted(...)``) feeding ordered reductions.
+R004      Public functions in ``core/`` and ``baselines/`` must
+          annotate every parameter and the return type.
+R005      Array allocations in ``src/repro/core`` (``np.zeros`` /
+          ``ones`` / ``empty`` / ``full`` / ``arange``) must pin an
+          explicit ``dtype=``.
+R006      No mutable default arguments (list/dict/set literals or
+          constructor calls).
+========  ==============================================================
+
+Suppression: append ``# repro-lint: disable=R001`` (comma-separated
+codes, or ``all``) to the offending line, with a justification.  A
+``# repro-lint: disable-file=R001`` comment anywhere in a file
+suppresses a code for that whole file.
+
+Usage::
+
+    python -m tools.repro_lint src tests scripts benchmarks
+    python -m tools.repro_lint --list-rules
+"""
+
+from tools.repro_lint.cli import main
+from tools.repro_lint.rules import (
+    RULES,
+    Finding,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+]

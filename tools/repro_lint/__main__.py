@@ -1,0 +1,6 @@
+"""Entry point: ``python -m tools.repro_lint <paths...>``."""
+
+from tools.repro_lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Command-line front end for repro-lint."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from tools.repro_lint.rules import RULES, lint_paths
+
+DEFAULT_PATHS = ("src", "tests", "scripts", "benchmarks")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the linter; exit status 1 when any finding survives."""
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repro_lint",
+        description="Determinism & array-contract static analysis for the "
+        "MrCC reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="files or directories to lint (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            if code != "R000":
+                print(f"{code}  {RULES[code]}")
+        return 0
+
+    try:
+        findings = lint_paths(args.paths)
+    except FileNotFoundError as error:
+        print(f"repro-lint: {error}", file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(
+            f"repro-lint: {len(findings)} finding(s) in "
+            f"{len({f.path for f in findings})} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0

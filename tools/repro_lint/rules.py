@@ -1,0 +1,462 @@
+"""AST rule implementations for repro-lint.
+
+One :class:`_RuleVisitor` pass per file collects findings; suppression
+comments are applied afterwards so every rule stays a pure function of
+the tree.  Rules are scoped by path context (tests are exempt from
+R001; R003/R005 only bind inside the deterministic core packages), and
+every finding carries a stable code so suppressions survive refactors.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+RULES: dict[str, str] = {
+    "R001": "no unseeded randomness outside tests",
+    "R002": "no ==/!= comparison against float literals outside tests",
+    "R003": "no wall clocks or raw set iteration in deterministic modules",
+    "R004": "public core/baselines functions must be fully annotated",
+    "R005": "core array allocations must pin an explicit dtype",
+    "R006": "no mutable default arguments",
+    "R000": "file could not be parsed",
+}
+
+#: np.random constructors that are fine *when given a seed argument*.
+_SEEDABLE_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "RandomState",
+        "SeedSequence",
+        "MT19937",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+    }
+)
+
+#: Wall-clock callables forbidden in deterministic modules (R003).
+_WALL_CLOCKS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: numpy allocators that must pin a dtype in core (R005), mapped to the
+#: 1-based position their ``dtype`` parameter occupies when positional.
+_PINNED_ALLOCATORS = {
+    "zeros": 2,
+    "ones": 2,
+    "empty": 2,
+    "full": 3,
+    "arange": 4,
+}
+
+_SUPPRESS_LINE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+_SUPPRESS_FILE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, pinned to a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """GCC-style ``path:line:col: CODE message`` output line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class PathContext:
+    """Which rule scopes a file path falls into."""
+
+    is_test: bool
+    in_core: bool
+    in_experiments: bool
+    in_baselines: bool
+
+    @staticmethod
+    def classify(path: str) -> "PathContext":
+        normalized = "/" + str(path).replace(os.sep, "/").lstrip("/")
+        parts = normalized.split("/")
+        name = parts[-1]
+        is_test = (
+            "tests" in parts[:-1]
+            or name.startswith("test_")
+            or name == "conftest.py"
+        )
+        return PathContext(
+            is_test=is_test,
+            in_core="/repro/core/" in normalized,
+            in_experiments="/repro/experiments/" in normalized,
+            in_baselines="/repro/baselines/" in normalized,
+        )
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    """Set literal, set comprehension, or ``set(...)``/``frozenset(...)`` call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"set", "frozenset"}
+    )
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    """Expression that evaluates to a fresh mutable container."""
+    if isinstance(
+        node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = _dotted_name(node.func)
+        return dotted in {
+            "list",
+            "dict",
+            "set",
+            "bytearray",
+            "collections.defaultdict",
+            "collections.OrderedDict",
+            "collections.Counter",
+            "collections.deque",
+        }
+    return False
+
+
+class _RuleVisitor(ast.NodeVisitor):
+    """Single-pass collector for every repro-lint rule."""
+
+    def __init__(self, path: str, context: PathContext):
+        self.path = path
+        self.context = context
+        self.findings: list[Finding] = []
+        self._function_depth = 0
+
+    def _add(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                code=code,
+                message=message,
+            )
+        )
+
+    # -- R001 / R003 / R005: calls ------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+        if dotted is not None:
+            if not self.context.is_test:
+                self._check_randomness(node, dotted)
+            if self.context.in_core or self.context.in_experiments:
+                self._check_wall_clock(node, dotted)
+                self._check_set_materialisation(node, dotted)
+            if self.context.in_core:
+                self._check_dtype_pin(node, dotted)
+        self.generic_visit(node)
+
+    def _check_randomness(self, node: ast.Call, dotted: str) -> None:
+        parts = dotted.split(".")
+        fn = parts[-1]
+        has_args = bool(node.args) or bool(node.keywords)
+        if len(parts) >= 3 and parts[-3] in {"np", "numpy"} and parts[-2] == "random":
+            if fn in _SEEDABLE_CONSTRUCTORS:
+                if not has_args:
+                    self._add(
+                        node,
+                        "R001",
+                        f"unseeded randomness: {dotted}() without an explicit "
+                        "seed argument",
+                    )
+            else:
+                self._add(
+                    node,
+                    "R001",
+                    f"unseeded randomness: legacy module-level call {dotted} "
+                    "(use a seeded np.random.default_rng Generator)",
+                )
+        elif len(parts) == 2 and parts[0] == "random":
+            self._add(
+                node,
+                "R001",
+                f"unseeded randomness: stdlib {dotted} call (use a seeded "
+                "np.random.default_rng Generator)",
+            )
+        elif dotted == "default_rng" and not has_args:
+            self._add(
+                node,
+                "R001",
+                "unseeded randomness: default_rng() without an explicit seed "
+                "argument",
+            )
+
+    def _check_wall_clock(self, node: ast.Call, dotted: str) -> None:
+        if dotted in _WALL_CLOCKS:
+            self._add(
+                node,
+                "R003",
+                f"wall-clock call {dotted} in a deterministic module "
+                "(inject timestamps or use time.perf_counter for durations "
+                "kept out of results)",
+            )
+
+    def _check_set_materialisation(self, node: ast.Call, dotted: str) -> None:
+        if dotted in {"list", "tuple", "enumerate", "iter"} and node.args:
+            if _is_set_expression(node.args[0]):
+                self._add(
+                    node,
+                    "R003",
+                    f"{dotted}() over a set expression has arbitrary order; "
+                    "wrap the set in sorted(...) before it feeds an ordered "
+                    "reduction",
+                )
+
+    def _check_dtype_pin(self, node: ast.Call, dotted: str) -> None:
+        parts = dotted.split(".")
+        if len(parts) != 2 or parts[0] not in {"np", "numpy"}:
+            return
+        dtype_position = _PINNED_ALLOCATORS.get(parts[1])
+        if dtype_position is None:
+            return
+        has_dtype = any(kw.arg == "dtype" for kw in node.keywords) or (
+            len(node.args) >= dtype_position
+        )
+        if not has_dtype:
+            self._add(
+                node,
+                "R005",
+                f"{dotted} without an explicit dtype= in core (array "
+                "contracts require pinned dtypes)",
+            )
+
+    # -- R002: float equality -----------------------------------------
+    # Test files are exempt: the equivalence suite *asserts* exact float
+    # equality on purpose (bit-identical reproduction is the claim).
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        if not self.context.is_test and any(
+            isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+        ):
+            if any(
+                isinstance(operand, ast.Constant)
+                and isinstance(operand.value, float)
+                for operand in operands
+            ):
+                self._add(
+                    node,
+                    "R002",
+                    "equality comparison against a float literal (use "
+                    "np.isclose/math.isclose or an integer comparison)",
+                )
+        self.generic_visit(node)
+
+    # -- R003: raw set iteration --------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_set_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        for generator in getattr(node, "generators", []):
+            self._check_set_iteration(generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    def _check_set_iteration(self, iter_node: ast.expr) -> None:
+        if self.context.in_core or self.context.in_experiments:
+            if _is_set_expression(iter_node):
+                self._add(
+                    iter_node,
+                    "R003",
+                    "iterating a set expression has arbitrary order; wrap it "
+                    "in sorted(...) before it feeds an ordered reduction",
+                )
+
+    # -- R004 / R006: function definitions ----------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+
+    def _check_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        self._check_mutable_defaults(node)
+        if (
+            (self.context.in_core or self.context.in_baselines)
+            and not self.context.is_test
+            and self._function_depth == 0
+            and not node.name.startswith("_")
+        ):
+            self._check_annotations(node)
+        self._function_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._function_depth -= 1
+
+    def _check_mutable_defaults(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        defaults: list[ast.expr | None] = [
+            *node.args.defaults,
+            *node.args.kw_defaults,
+        ]
+        for default in defaults:
+            if default is not None and _is_mutable_literal(default):
+                self._add(
+                    default,
+                    "R006",
+                    f"mutable default argument in {node.name}() (use None "
+                    "and allocate inside the body)",
+                )
+
+    def _check_annotations(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        parameters = [
+            *node.args.posonlyargs,
+            *node.args.args,
+            *node.args.kwonlyargs,
+        ]
+        if parameters and parameters[0].arg in {"self", "cls"}:
+            parameters = parameters[1:]
+        missing = [p.arg for p in parameters if p.annotation is None]
+        if missing:
+            self._add(
+                node,
+                "R004",
+                f"public function {node.name}() is missing parameter "
+                f"annotations: {', '.join(missing)}",
+            )
+        if node.returns is None:
+            self._add(
+                node,
+                "R004",
+                f"public function {node.name}() is missing a return "
+                "annotation",
+            )
+
+
+def _suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """Per-line and per-file suppression sets parsed from comments."""
+    per_line: dict[int, set[str]] = {}
+    per_file: set[str] = set()
+    for line_number, text in enumerate(source.splitlines(), start=1):
+        if "repro-lint" not in text:
+            continue
+        file_match = _SUPPRESS_FILE.search(text)
+        if file_match:
+            per_file.update(_parse_codes(file_match.group(1)))
+            continue
+        line_match = _SUPPRESS_LINE.search(text)
+        if line_match:
+            per_line.setdefault(line_number, set()).update(
+                _parse_codes(line_match.group(1))
+            )
+    return per_line, per_file
+
+
+def _parse_codes(raw: str) -> set[str]:
+    codes = {token.strip().upper() for token in raw.split(",") if token.strip()}
+    return {"ALL"} if "ALL" in codes else codes
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one Python source text under its path's rule context."""
+    context = PathContext.classify(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=path,
+                line=error.lineno or 1,
+                col=(error.offset or 0) + 1,
+                code="R000",
+                message=f"syntax error: {error.msg}",
+            )
+        ]
+    visitor = _RuleVisitor(path, context)
+    visitor.visit(tree)
+    per_line, per_file = _suppressions(source)
+    kept = []
+    for finding in visitor.findings:
+        disabled = per_file | per_line.get(finding.line, set())
+        if "ALL" in disabled or finding.code in disabled:
+            continue
+        kept.append(finding)
+    return sorted(kept)
+
+
+def lint_file(path: str | Path) -> list[Finding]:
+    """Lint one file on disk."""
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, str(path))
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """All ``*.py`` files under the given files/directories, sorted."""
+    for entry in paths:
+        root = Path(entry)
+        if root.is_file():
+            if root.suffix == ".py":
+                yield root
+            continue
+        if not root.exists():
+            raise FileNotFoundError(f"no such file or directory: {root}")
+        for candidate in sorted(root.rglob("*.py")):
+            parts = candidate.parts
+            if any(p == "__pycache__" or p.startswith(".") for p in parts):
+                continue
+            yield candidate
+
+
+def lint_paths(paths: Iterable[str | Path]) -> list[Finding]:
+    """Lint every Python file under the given paths."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path))
+    return sorted(findings)
