@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.contracts import check_array
 from repro.types import NOISE_LABEL, ClusteringResult, SubspaceCluster
 
 _UNIFORM_BITS = 0.0
@@ -100,6 +101,7 @@ class RIC:
     ) -> ClusteringResult:
         """Purify ``result`` over ``points``; returns a new clustering."""
         points = np.asarray(points, dtype=np.float64)
+        check_array("points", points, dtype=np.float64, ndim=2, finite=True)
         labels = np.full(points.shape[0], NOISE_LABEL, dtype=np.int64)
         clusters: list[SubspaceCluster] = []
         for cluster in result.clusters:

@@ -22,12 +22,12 @@ gap on the η=100k fit path under 2%.
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from typing import Any, Iterator
 
 import numpy as np
 
+from repro.env import contracts_from_env
 from repro.types import NOISE_LABEL, AnyArray, DTypeLike
 
 __all__ = [
@@ -46,7 +46,7 @@ class ContractError(ValueError):
     """An argument broke one of the core's array contracts."""
 
 
-_ENABLED: bool = os.environ.get("REPRO_CONTRACTS", "1") != "0"
+_ENABLED: bool = contracts_from_env(default=True)
 
 
 def enabled() -> bool:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.contracts import check_array
 from repro.core.counting_tree import CountingTree, Level
 from repro.types import BoolArray, FloatArray, IntArray
 
@@ -149,6 +150,8 @@ def convolve_level(
     the lowest row, keeping MrCC deterministic.
     """
     level = tree.level(h)
+    check_array("responses", responses, dtype=np.int64, ndim=1)
+    check_array("excluded", excluded, dtype=np.bool_, ndim=1)
     eligible = ~(level.used | excluded)
     if not np.any(eligible):
         return -1

@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.beta_cluster import BetaCluster
-from repro.core.contracts import check_labels
+from repro.core.contracts import check_array, check_labels
 from repro.types import (
     NOISE_LABEL,
     ClusteringResult,
@@ -105,6 +105,7 @@ def build_correlation_clusters(
     points: FloatArray, betas: list[BetaCluster]
 ) -> ClusteringResult:
     """Run Algorithm 3: merge β-clusters, define axes, label points."""
+    check_array("points", points, dtype=np.float64, ndim=2)
     if not betas:
         return ClusteringResult(
             labels=np.full(points.shape[0], NOISE_LABEL, dtype=np.int64),

@@ -33,11 +33,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.contracts import check_array
+from repro.core.contracts import ContractError, check_array
 from repro.types import AnyArray, BoolArray, FloatArray, IntArray
 
 MIN_RESOLUTIONS = 3
 """Algorithm 1 requires ``H >= 3``."""
+
+MAX_RESOLUTIONS = 32
+"""Coordinates at the finest half-resolution ``2^H`` must fit the
+``uint32`` key packing of :func:`void_keys`, bounding ``H`` at 32."""
+
+_KEY_COORD_MAX = (1 << 32) - 1
+"""Largest coordinate the big-endian ``>u4`` key packing can hold."""
 
 
 def void_keys(coords: IntArray) -> AnyArray:
@@ -47,8 +54,24 @@ def void_keys(coords: IntArray) -> AnyArray:
     void view coincide with lexicographic numeric order, so the keys
     support ``np.searchsorted`` joins — the vectorised equivalent of a
     per-cell hash lookup.
+
+    The ``>u4`` packing holds coordinates in ``[0, 2**32)``; anything
+    outside would wrap silently and alias distinct cells, so the range
+    is enforced here with a :class:`ContractError` (always on — a wrong
+    key is a wrong clustering, not a slow one).
     """
     coords = np.ascontiguousarray(coords)
+    if coords.size and (
+        int(coords.min()) < 0 or int(coords.max()) > _KEY_COORD_MAX
+    ):
+        raise ContractError(
+            f"coords must lie in [0, {_KEY_COORD_MAX}] to fit the uint32 "
+            f"key packing (observed range [{int(coords.min())}, "
+            f"{int(coords.max())}]); Counting-trees support "
+            f"n_resolutions <= {MAX_RESOLUTIONS}"
+        )
+    # int64 -> >u4 narrows on purpose: the range guard above makes the
+    # cast lossless for every representable cell coordinate.
     big_endian = np.ascontiguousarray(coords.astype(">u4"))
     width = big_endian.shape[1] * big_endian.dtype.itemsize
     return big_endian.view(np.dtype((np.void, width))).ravel()
@@ -187,6 +210,12 @@ class CountingTree:
             raise ValueError("cannot build a Counting-tree over zero points")
         if n_resolutions < MIN_RESOLUTIONS:
             raise ValueError(f"n_resolutions must be >= {MIN_RESOLUTIONS}")
+        if n_resolutions > MAX_RESOLUTIONS:
+            raise ContractError(
+                f"n_resolutions must be <= {MAX_RESOLUTIONS}: level "
+                f"coordinates reach 2**n_resolutions - 1 and must fit "
+                f"the uint32 cell-key packing"
+            )
 
         self._n_points, self._d = points.shape
         self._H = int(n_resolutions)

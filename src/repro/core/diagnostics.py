@@ -14,6 +14,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.contracts import check_array
 from repro.core.counting_tree import CountingTree
 from repro.types import NOISE_LABEL, ClusteringResult, FloatArray
 
@@ -99,6 +100,7 @@ def cluster_diagnostics(
     well below 1.
     """
     points = np.asarray(points, dtype=np.float64)
+    check_array("points", points, dtype=np.float64, ndim=2)
     d = points.shape[1]
     reports: list[ClusterDiagnostics] = []
     for k, cluster in enumerate(result.clusters):
@@ -139,6 +141,7 @@ def membership_confidence(
     for manual review (see the screening example).
     """
     points = np.asarray(points, dtype=np.float64)
+    check_array("points", points, dtype=np.float64, ndim=2)
     confidence = np.zeros(points.shape[0], dtype=np.float64)
     for k, cluster in enumerate(result.clusters):
         members = np.asarray(sorted(cluster.indices), dtype=np.int64)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.contracts import check_array
 from repro.types import FloatArray
 
 MODEL_BITS_PER_PARTITION = float(np.log2(100.0))
@@ -69,6 +70,7 @@ def mdl_cut_threshold(relevances: FloatArray) -> float:
     to the new β-cluster.
     """
     relevances = np.asarray(relevances, dtype=np.float64)
+    check_array("relevances", relevances, dtype=np.float64, ndim=1, finite=True)
     ordered = np.sort(relevances)
     p = mdl_cut_position(ordered)
     return float(ordered[p - 1])

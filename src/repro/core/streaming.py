@@ -19,8 +19,9 @@ from collections.abc import Iterable
 
 import numpy as np
 
-from repro.core.contracts import check_array
+from repro.core.contracts import ContractError, check_array
 from repro.core.counting_tree import (
+    MAX_RESOLUTIONS,
     MIN_RESOLUTIONS,
     CountingTree,
     Level,
@@ -41,6 +42,11 @@ def build_tree_from_chunks(
     """
     if n_resolutions < MIN_RESOLUTIONS:
         raise ValueError(f"n_resolutions must be >= {MIN_RESOLUTIONS}")
+    if n_resolutions > MAX_RESOLUTIONS:
+        raise ContractError(
+            f"n_resolutions must be <= {MAX_RESOLUTIONS}: level "
+            f"coordinates must fit the uint32 cell-key packing"
+        )
 
     accumulators: dict[int, dict[bytes, tuple[int, np.ndarray]]] = {
         h: {} for h in range(1, n_resolutions)
@@ -156,11 +162,12 @@ def label_stream(
     from repro.types import SubspaceCluster
 
     groups = merge_beta_clusters(betas)
-    label_parts = [
-        label_points(np.asarray(chunk, dtype=np.float64), betas, groups)
-        for chunk in chunks
-        if np.asarray(chunk).shape[0]
-    ]
+    label_parts = []
+    for chunk_index, chunk in enumerate(chunks):
+        chunk = np.asarray(chunk, dtype=np.float64)
+        check_array(f"chunks[{chunk_index}]", chunk, dtype=np.float64, ndim=2)
+        if chunk.shape[0]:
+            label_parts.append(label_points(chunk, betas, groups))
     labels = (
         np.concatenate(label_parts) if label_parts else np.empty(0, dtype=np.int64)
     )

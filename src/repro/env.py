@@ -1,0 +1,80 @@
+"""Single home for the reproduction's environment knobs.
+
+Three environment variables steer the package without changing any
+result row: ``REPRO_JOBS`` (worker count for the experiment fan-out),
+``REPRO_PROFILE`` (``quick``/``full`` tuning grids) and
+``REPRO_CONTRACTS`` (toggle for the O(n) data-scan half of the runtime
+contracts).  Every read goes through this module so that bad values
+produce one friendly, named error instead of a raw ``int()`` traceback,
+and so the static layer can enforce the funnel: ``repro_lint`` rule
+R007 flags ``os.environ`` access anywhere else in the package, and the
+``repro_analyze`` purity pass treats these helpers as the only
+sanctioned ambient reads.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "contracts_from_env",
+    "jobs_from_env",
+    "profile_from_env",
+]
+
+_TRUE_VALUES = frozenset({"1", "true", "on", "yes"})
+_FALSE_VALUES = frozenset({"0", "false", "off", "no"})
+
+
+def jobs_from_env(default: int = 1) -> int:
+    """Worker count for the experiment fan-out (``REPRO_JOBS``).
+
+    Unset or blank means ``default`` (serial).  Anything that is not a
+    positive integer raises a ``ValueError`` naming the variable and
+    the offending value.
+    """
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
+        return default
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_JOBS must be a positive integer worker count "
+            f"(e.g. REPRO_JOBS=4), got {raw!r}"
+        ) from None
+    if jobs < 1:
+        raise ValueError(
+            f"REPRO_JOBS must be a positive integer worker count "
+            f"(e.g. REPRO_JOBS=4), got {raw!r}"
+        )
+    return jobs
+
+
+def profile_from_env(default: str = "quick") -> str:
+    """Active tuning profile (``REPRO_PROFILE``): ``quick`` or ``full``."""
+    profile = os.environ.get("REPRO_PROFILE", "").strip() or default
+    if profile not in ("quick", "full"):
+        raise ValueError(
+            f"REPRO_PROFILE must be 'quick' or 'full', got {profile!r}"
+        )
+    return profile
+
+
+def contracts_from_env(default: bool = True) -> bool:
+    """Whether the O(n) data-scan contracts are on (``REPRO_CONTRACTS``).
+
+    Accepts ``1/true/on/yes`` and ``0/false/off/no`` (case-insensitive);
+    unset or blank means ``default``.
+    """
+    raw = os.environ.get("REPRO_CONTRACTS", "").strip().lower()
+    if not raw:
+        return default
+    if raw in _TRUE_VALUES:
+        return True
+    if raw in _FALSE_VALUES:
+        return False
+    raise ValueError(
+        f"REPRO_CONTRACTS must be one of 1/0, true/false, on/off, yes/no; "
+        f"got {raw!r}"
+    )

@@ -18,13 +18,20 @@ variable.
 
 from __future__ import annotations
 
-import os
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 
 from repro.baselines import CFPC, EPCH, HARP, LAC, P3C
 from repro.core.mrcc import MrCC
+from repro.env import profile_from_env
 from repro.types import Dataset
+
+__all__ = [
+    "HEADLINE_METHODS",
+    "MethodSpec",
+    "method_registry",
+    "profile_from_env",
+]
 
 HEADLINE_METHODS = ("MrCC", "LAC", "EPCH", "P3C", "CFPC", "HARP")
 """The six methods of Figure 5 (the paper's headline comparison)."""
@@ -44,14 +51,6 @@ class MethodSpec:
     deterministic: bool = True
     finds_noise: bool = True
     defines_subspaces: bool = True
-
-
-def profile_from_env(default: str = "quick") -> str:
-    """Active tuning profile: ``quick`` (default) or ``full``."""
-    profile = os.environ.get("REPRO_PROFILE", default)
-    if profile not in ("quick", "full"):
-        raise ValueError("REPRO_PROFILE must be 'quick' or 'full'")
-    return profile
 
 
 def _mrcc_grid(dataset: Dataset, profile: str) -> Iterator[dict]:

@@ -17,11 +17,11 @@ and ``peak_kb`` still depend on machine load, as they do serially).
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from repro.env import jobs_from_env
 from repro.evaluation.quality import evaluate_clustering
 from repro.evaluation.resources import measure
 from repro.experiments.config import (
@@ -32,19 +32,15 @@ from repro.experiments.config import (
 )
 from repro.types import Dataset
 
+__all__ = [
+    "DEFAULT_N_REPEATS",
+    "jobs_from_env",
+    "run_method_on_dataset",
+    "run_suite",
+]
+
 DEFAULT_N_REPEATS = 3
 """Seeded repeats for non-deterministic methods (the paper's protocol)."""
-
-
-def jobs_from_env(default: int = 1) -> int:
-    """Worker count for the experiment fan-out (``REPRO_JOBS`` env)."""
-    raw = os.environ.get("REPRO_JOBS", "").strip()
-    if not raw:
-        return default
-    jobs = int(raw)
-    if jobs < 1:
-        raise ValueError("REPRO_JOBS must be a positive integer")
-    return jobs
 
 
 def run_method_on_dataset(

@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
+from repro.core.contracts import ContractError
 from repro.core.counting_tree import CountingTree, void_keys
 
 
@@ -157,6 +158,55 @@ class TestVoidKeys:
         assert np.array_equal(rows, np.arange(level.n_cells))
         missing = level.rows_of(np.full((1, 3), 3, dtype=np.int64) + 10)
         assert missing[0] == -1
+
+
+class TestUint32KeyGuard:
+    """The `>u4` key packing must reject coordinates it cannot hold."""
+
+    U4_MAX = 2**32 - 1
+
+    def test_boundary_coordinate_is_accepted(self):
+        coords = np.array([[self.U4_MAX, 0], [0, self.U4_MAX]], dtype=np.int64)
+        keys = void_keys(coords)
+        assert keys.shape == (2,)
+        assert keys[0] != keys[1]
+
+    def test_coordinate_past_uint32_raises_contract_error(self):
+        coords = np.array([[self.U4_MAX + 1, 0]], dtype=np.int64)
+        with pytest.raises(ContractError, match="uint32"):
+            void_keys(coords)
+
+    def test_negative_coordinate_raises_contract_error(self):
+        with pytest.raises(ContractError, match="uint32"):
+            void_keys(np.array([[-1, 0]], dtype=np.int64))
+
+    def test_boundary_values_do_not_alias(self):
+        # Without the guard, 2**32 would wrap to the same key as 0.
+        wrapped = np.array([[2**32, 0]], dtype=np.int64)
+        with pytest.raises(ContractError):
+            void_keys(wrapped)
+        zero_key = void_keys(np.array([[0, 0]], dtype=np.int64))
+        max_key = void_keys(np.array([[self.U4_MAX, 0]], dtype=np.int64))
+        assert zero_key[0] != max_key[0]
+
+    def test_tree_rejects_high_resolutions(self):
+        with pytest.raises(ContractError, match="n_resolutions"):
+            _tree([[0.5, 0.5]], H=33)
+
+    def test_tree_disabled_contracts_still_guard_keys(self):
+        # The guard is a correctness invariant, not a data-scan option.
+        from repro.core import contracts
+
+        with contracts.disabled():
+            with pytest.raises(ContractError):
+                void_keys(np.array([[2**32, 0]], dtype=np.int64))
+
+    def test_streaming_build_rejects_high_resolutions(self):
+        from repro.core.streaming import build_tree_from_chunks
+
+        chunks = [np.array([[0.25, 0.75]], dtype=np.float64)]
+        with pytest.raises(ContractError, match="n_resolutions"):
+            build_tree_from_chunks(chunks, n_resolutions=33)
 
 
 class TestComplexityProxies:

@@ -1,0 +1,86 @@
+"""Tests for the consolidated environment-knob parsing (repro.env)."""
+
+import pytest
+
+from repro.env import contracts_from_env, jobs_from_env, profile_from_env
+
+
+class TestJobsFromEnv:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert jobs_from_env() == 1
+        assert jobs_from_env(default=3) == 3
+
+    def test_blank_returns_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "   ")
+        assert jobs_from_env() == 1
+
+    def test_positive_integer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert jobs_from_env() == 4
+
+    def test_whitespace_is_stripped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", " 2 ")
+        assert jobs_from_env() == 2
+
+    @pytest.mark.parametrize("raw", ["four", "2.5", "1e3", "0x4"])
+    def test_non_integer_names_the_variable(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_JOBS", raw)
+        with pytest.raises(ValueError, match="REPRO_JOBS") as excinfo:
+            jobs_from_env()
+        assert raw in str(excinfo.value)
+
+    @pytest.mark.parametrize("raw", ["0", "-1"])
+    def test_non_positive_rejected(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_JOBS", raw)
+        with pytest.raises(ValueError, match="positive integer"):
+            jobs_from_env()
+
+    def test_runner_reexport_is_the_same_function(self):
+        from repro.experiments.runner import jobs_from_env as runner_jobs
+
+        assert runner_jobs is jobs_from_env
+
+
+class TestProfileFromEnv:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert profile_from_env() == "quick"
+        assert profile_from_env(default="full") == "full"
+
+    @pytest.mark.parametrize("profile", ["quick", "full"])
+    def test_valid_profiles(self, monkeypatch, profile):
+        monkeypatch.setenv("REPRO_PROFILE", profile)
+        assert profile_from_env() == profile
+
+    def test_bad_profile_names_the_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "exhaustive")
+        with pytest.raises(ValueError, match="REPRO_PROFILE.*'exhaustive'"):
+            profile_from_env()
+
+    def test_config_reexport_is_the_same_function(self):
+        from repro.experiments.config import profile_from_env as config_profile
+
+        assert config_profile is profile_from_env
+
+
+class TestContractsFromEnv:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CONTRACTS", raising=False)
+        assert contracts_from_env() is True
+        assert contracts_from_env(default=False) is False
+
+    @pytest.mark.parametrize("raw", ["1", "true", "ON", "yes"])
+    def test_truthy_values(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_CONTRACTS", raw)
+        assert contracts_from_env() is True
+
+    @pytest.mark.parametrize("raw", ["0", "false", "OFF", "no"])
+    def test_falsy_values(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_CONTRACTS", raw)
+        assert contracts_from_env() is False
+
+    def test_garbage_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CONTRACTS", "maybe")
+        with pytest.raises(ValueError, match="REPRO_CONTRACTS.*'maybe'"):
+            contracts_from_env()

@@ -183,6 +183,50 @@ class TestR006MutableDefaults:
         assert codes(self.GOOD) == []
 
 
+class TestR007EnvAccess:
+    BAD_READ = "import os\njobs = os.environ.get('REPRO_JOBS', '1')\n"
+    BAD_SUBSCRIPT = "import os\nos.environ['REPRO_JOBS'] = '4'\n"
+    BAD_GETENV = "import os\nprofile = os.getenv('REPRO_PROFILE')\n"
+    BAD_IMPORT = "from os import environ\nx = environ.get('REPRO_JOBS')\n"
+    GOOD_HELPER = "from repro.env import jobs_from_env\njobs = jobs_from_env()\n"
+    GOOD_OS_USE = "import os\nsep = os.sep\n"
+    ENV_MODULE_PATH = "src/repro/env.py"
+
+    def test_environ_read_fires_in_package(self):
+        assert codes(self.BAD_READ, path=EXPERIMENTS_PATH) == ["R007"]
+        assert codes(self.BAD_READ, path=CORE_PATH) == ["R007"]
+
+    def test_environ_write_fires(self):
+        assert codes(self.BAD_SUBSCRIPT, path=CORE_PATH) == ["R007"]
+
+    def test_getenv_fires(self):
+        assert codes(self.BAD_GETENV, path=DATA_PATH) == ["R007"]
+
+    def test_importing_environ_from_os_fires(self):
+        assert codes(self.BAD_IMPORT, path=CORE_PATH) == ["R007"]
+
+    def test_env_module_itself_is_exempt(self):
+        assert codes(self.BAD_READ, path=self.ENV_MODULE_PATH) == []
+
+    def test_outside_package_is_exempt(self):
+        assert codes(self.BAD_READ, path="benchmarks/conftest.py") == []
+        assert codes(self.BAD_READ, path="scripts/perf_baseline.py") == []
+
+    def test_tests_are_exempt(self):
+        assert codes(self.BAD_READ, path=TEST_PATH) == []
+
+    def test_helper_and_unrelated_os_use_are_clean(self):
+        assert codes(self.GOOD_HELPER, path=CORE_PATH) == []
+        assert codes(self.GOOD_OS_USE, path=CORE_PATH) == []
+
+    def test_line_suppression_silences_r007(self):
+        source = (
+            "import os\n"
+            "x = os.environ.get('HOME')  # repro-lint: disable=R007\n"
+        )
+        assert codes(source, path=CORE_PATH) == []
+
+
 class TestSuppression:
     def test_line_suppression(self):
         source = "import numpy as np\nx = np.random.rand(3)  # repro-lint: disable=R001\n"
@@ -277,9 +321,11 @@ class TestCli:
         assert "R001" in proc.stdout
 
 
-@pytest.mark.parametrize("code", ["R001", "R002", "R003", "R004", "R005", "R006"])
+@pytest.mark.parametrize(
+    "code", ["R001", "R002", "R003", "R004", "R005", "R006", "R007"]
+)
 def test_every_rule_fires_on_its_bad_fixture(code):
-    """Acceptance: each of the six rules demonstrably fires."""
+    """Acceptance: each of the rules demonstrably fires."""
     bad_by_code = {
         "R001": (TestR001Randomness.BAD_MODULE_CALL, DATA_PATH),
         "R002": (TestR002FloatEquality.BAD_SCALAR, DATA_PATH),
@@ -287,6 +333,7 @@ def test_every_rule_fires_on_its_bad_fixture(code):
         "R004": (TestR004Annotations.BAD_RETURN, CORE_PATH),
         "R005": (TestR005DtypePins.BAD_ZEROS, CORE_PATH),
         "R006": (TestR006MutableDefaults.BAD_LIST, DATA_PATH),
+        "R007": (TestR007EnvAccess.BAD_READ, CORE_PATH),
     }
     source, path = bad_by_code[code]
     assert code in codes(source, path=path)

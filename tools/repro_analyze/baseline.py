@@ -1,0 +1,110 @@
+"""Baseline file: accepted findings the analyzer must stay quiet about.
+
+The baseline holds one fingerprint per accepted finding — ``CODE
+symbol hash`` (see :meth:`Finding.fingerprint`) — and *requires* a
+trailing ``#`` comment explaining why the finding is accepted; an
+uncommented entry is a parse error, so nobody can wave a finding
+through silently.  Fingerprints exclude line numbers, so entries
+survive edits that merely move code around.
+
+``python -m tools.repro_analyze --write-baseline`` regenerates the
+file, carrying existing comments over and marking new entries with
+``TODO: justify``, which the parser rejects until replaced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from .findings import CODES, Finding
+
+DEFAULT_BASELINE = Path(__file__).parent / "baseline.txt"
+
+_HEADER = """\
+# repro-analyze baseline — accepted findings.
+#
+# One entry per line: CODE symbol fingerprint  # why it is accepted
+# The comment is mandatory; regenerate with
+#   python -m tools.repro_analyze --write-baseline
+# and replace every "TODO: justify" before committing.
+"""
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (missing comment, bad shape)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    fingerprint: str
+    comment: str
+
+
+def parse_baseline(path: Path) -> dict[str, BaselineEntry]:
+    """Load fingerprints → entries; raises BaselineError on bad lines."""
+    entries: dict[str, BaselineEntry] = {}
+    if not path.exists():
+        return entries
+    for number, raw in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        body, marker, comment = line.partition("#")
+        comment = comment.strip()
+        if not marker or not comment:
+            raise BaselineError(
+                f"{path}:{number}: baseline entries need a trailing "
+                f"'# why accepted' comment"
+            )
+        if comment.upper().startswith("TODO"):
+            raise BaselineError(
+                f"{path}:{number}: replace the TODO comment with a real "
+                f"justification before committing"
+            )
+        parts = body.split()
+        if len(parts) != 3 or parts[0] not in CODES:
+            raise BaselineError(
+                f"{path}:{number}: expected 'CODE symbol fingerprint', "
+                f"got {body.strip()!r}"
+            )
+        entries[" ".join(parts)] = BaselineEntry(
+            fingerprint=" ".join(parts), comment=comment
+        )
+    return entries
+
+
+def apply_baseline(
+    findings: list[Finding], entries: dict[str, BaselineEntry]
+) -> tuple[list[Finding], list[BaselineEntry]]:
+    """Split into (unbaselined findings, stale entries)."""
+    seen: set[str] = set()
+    fresh: list[Finding] = []
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if fingerprint in entries:
+            seen.add(fingerprint)
+        else:
+            fresh.append(finding)
+    stale = [
+        entry
+        for fingerprint, entry in entries.items()
+        if fingerprint not in seen
+    ]
+    return fresh, stale
+
+
+def write_baseline(
+    path: Path,
+    findings: list[Finding],
+    existing: dict[str, BaselineEntry],
+) -> None:
+    """Write all current findings, keeping comments of known entries."""
+    lines = [_HEADER]
+    for fingerprint in sorted({f.fingerprint() for f in findings}):
+        entry = existing.get(fingerprint)
+        comment = entry.comment if entry is not None else "TODO: justify"
+        lines.append(f"{fingerprint}  # {comment}")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")

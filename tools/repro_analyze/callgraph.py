@@ -1,0 +1,203 @@
+"""Call graph shared by all three repro-analyze passes.
+
+For every project function the graph records three edge kinds:
+
+``calls``
+    Direct call sites whose callee resolves to a project function
+    (including ``self.method`` dispatch through the enclosing class
+    and its project bases).
+``references``
+    Project functions *mentioned* without being called — passed as a
+    callback, stored in a registry, returned.  The purity pass treats
+    a referenced function as reachable, because the mention is exactly
+    how work is smuggled into a ``ProcessPoolExecutor``.
+``instantiations``
+    Project classes that are constructed or merely referenced.  The
+    conservative closure pulls in every method of such a class (and of
+    its project bases): once an instance escapes into a worker, any of
+    its methods may run there.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .project import (
+    ClassInfo,
+    FunctionInfo,
+    FunctionNode,
+    Project,
+    dotted_name,
+)
+
+
+@dataclass
+class CallSite:
+    """One resolved call edge with its source location."""
+
+    callee: str
+    node: ast.Call
+
+
+@dataclass
+class FunctionEdges:
+    """Outgoing edges of a single function."""
+
+    calls: list[CallSite] = field(default_factory=list)
+    references: set[str] = field(default_factory=set)
+    instantiations: set[str] = field(default_factory=set)
+    unresolved_calls: list[ast.Call] = field(default_factory=list)
+
+
+class CallGraph:
+    """Outgoing edges for every function in a :class:`Project`."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        self.edges: dict[str, FunctionEdges] = {}
+        for qualname, info in project.functions.items():
+            self.edges[qualname] = _collect_edges(project, info)
+
+    def callees(self, qualname: str) -> Iterator[FunctionInfo]:
+        for site in self.edges.get(qualname, FunctionEdges()).calls:
+            info = self.project.functions.get(site.callee)
+            if info is not None:
+                yield info
+
+    def reachable(self, roots: list[str]) -> set[str]:
+        """Conservative closure of function qualnames from the roots.
+
+        Follows call edges, reference edges, and — for every class that
+        is instantiated or referenced along the way — all methods of
+        that class and its project bases.  Over-approximates real
+        reachability, which is the safe direction for a purity proof.
+        """
+        seen: set[str] = set()
+        seen_classes: set[str] = set()
+        stack = [r for r in roots if r in self.project.functions]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            edges = self.edges.get(current)
+            if edges is None:
+                continue
+            for site in edges.calls:
+                if site.callee in self.project.functions:
+                    stack.append(site.callee)
+            for ref in edges.references:
+                if ref in self.project.functions:
+                    stack.append(ref)
+            for cls_name in edges.instantiations:
+                stack.extend(
+                    self._class_methods(cls_name, seen_classes)
+                )
+        return seen
+
+    def _class_methods(
+        self, cls_name: str, seen_classes: set[str]
+    ) -> list[str]:
+        methods: list[str] = []
+        stack = [cls_name]
+        while stack:
+            name = stack.pop()
+            if name in seen_classes:
+                continue
+            seen_classes.add(name)
+            cls = self.project.classes.get(name)
+            if cls is None:
+                continue
+            methods.extend(cls.methods.values())
+            for base in self.project.base_classes(cls):
+                stack.append(base.qualname)
+        return methods
+
+
+def _collect_edges(project: Project, info: FunctionInfo) -> FunctionEdges:
+    edges = FunctionEdges()
+    collector = _EdgeCollector(project, info, edges)
+    for stmt in info.node.body:
+        collector.visit(stmt)
+    return edges
+
+
+class _EdgeCollector(ast.NodeVisitor):
+    def __init__(
+        self, project: Project, info: FunctionInfo, edges: FunctionEdges
+    ):
+        self.project = project
+        self.info = info
+        self.edges = edges
+        self.module = info.module
+
+    # Nested defs have their own edge sets; lambdas are walked inline
+    # because their bodies execute in the enclosing function's context
+    # whenever the callback fires.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        nested = f"{self.info.qualname}.{node.name}"
+        if nested in self.project.functions:
+            self.edges.references.add(nested)
+        else:  # pragma: no cover - defensive; nested defs are indexed
+            self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = self._resolve_callee(node.func)
+        if isinstance(callee, FunctionInfo):
+            self.edges.calls.append(CallSite(callee.qualname, node))
+        elif isinstance(callee, ClassInfo):
+            self.edges.instantiations.add(callee.qualname)
+        else:
+            self.edges.unresolved_calls.append(node)
+        for arg in node.args:
+            self.visit(arg)
+        for keyword in node.keywords:
+            self.visit(keyword.value)
+        # The func expression itself may reference further names
+        # (e.g. ``registry[name].build(...)``).
+        if not isinstance(node.func, (ast.Name, ast.Attribute)):
+            self.visit(node.func)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self._record_reference(node.id)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        dotted = dotted_name(node)
+        if dotted is not None and isinstance(node.ctx, ast.Load):
+            self._record_reference(dotted)
+        else:
+            self.generic_visit(node)
+
+    def _record_reference(self, dotted: str) -> None:
+        function = self.project.resolve_function(self.module, dotted)
+        if function is not None:
+            self.edges.references.add(function.qualname)
+            return
+        cls = self.project.resolve_class(self.module, dotted)
+        if cls is not None:
+            self.edges.instantiations.add(cls.qualname)
+
+    def _resolve_callee(
+        self, func: ast.expr
+    ) -> FunctionInfo | ClassInfo | None:
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        # ``self.method(...)`` dispatch through the enclosing class.
+        head, _, rest = dotted.partition(".")
+        if head == "self" and rest and self.info.class_name is not None:
+            cls = self.project.class_of_function(self.info)
+            if cls is not None and "." not in rest:
+                method = self.project.resolve_method(cls, rest)
+                if method is not None:
+                    return method
+            return None
+        function = self.project.resolve_function(self.module, dotted)
+        if function is not None:
+            return function
+        return self.project.resolve_class(self.module, dotted)

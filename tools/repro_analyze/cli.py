@@ -1,0 +1,166 @@
+"""Command line driver: ``python -m tools.repro_analyze [roots…]``.
+
+Runs the three passes over one shared :class:`Project`/call graph,
+subtracts the committed baseline, and exits
+
+* ``0`` — tree clean (no findings beyond the baseline),
+* ``1`` — new findings (or stale baseline entries with ``--strict``),
+* ``2`` — usage / baseline-format error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .baseline import (
+    DEFAULT_BASELINE,
+    BaselineError,
+    apply_baseline,
+    parse_baseline,
+    write_baseline,
+)
+from .callgraph import CallGraph
+from .contracts_check import analyze_contracts
+from .findings import CODES, Finding
+from .project import Project
+from .purity import analyze_purity
+from .shapes import analyze_shapes
+
+
+def collect_findings(roots: list[str]) -> list[Finding]:
+    """All three passes over one shared project and call graph."""
+    project = Project.load(roots)
+    findings: list[Finding] = [
+        Finding(
+            path=str(path),
+            line=error.lineno or 1,
+            col=(error.offset or 1) - 1,
+            code="A000",
+            symbol=path.stem,
+            message=f"could not parse: {error.msg}",
+        )
+        for path, error in project.unparsable
+    ]
+    graph = CallGraph(project)
+    findings.extend(analyze_shapes(project))
+    findings.extend(analyze_purity(project, graph))
+    findings.extend(analyze_contracts(project))
+    return sorted(set(findings))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repro_analyze",
+        description=(
+            "Interprocedural shape/dtype, parallel-purity and "
+            "contract-coverage analysis for the repro package."
+        ),
+    )
+    parser.add_argument(
+        "roots",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of accepted findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings into the baseline file",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on stale baseline entries",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit findings as JSON"
+    )
+    parser.add_argument(
+        "--list-codes", action="store_true", help="list finding codes and exit"
+    )
+    options = parser.parse_args(argv)
+
+    if options.list_codes:
+        for code, description in sorted(CODES.items()):
+            print(f"{code}  {description}")
+        return 0
+
+    try:
+        findings = collect_findings(options.roots or ["src"])
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        entries = (
+            {} if options.no_baseline else parse_baseline(options.baseline)
+        )
+    except BaselineError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if options.write_baseline:
+        write_baseline(options.baseline, findings, entries)
+        print(
+            f"wrote {len(findings)} finding(s) to {options.baseline}; "
+            f"replace any 'TODO: justify' comments before committing"
+        )
+        return 0
+
+    fresh, stale = apply_baseline(findings, entries)
+
+    if options.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "path": f.path,
+                        "line": f.line,
+                        "col": f.col,
+                        "code": f.code,
+                        "symbol": f.symbol,
+                        "message": f.message,
+                        "fingerprint": f.fingerprint(),
+                    }
+                    for f in fresh
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for finding in fresh:
+            print(finding.render())
+
+    failed = bool(fresh)
+    if stale:
+        for entry in stale:
+            print(
+                f"stale baseline entry (finding no longer raised): "
+                f"{entry.fingerprint}",
+                file=sys.stderr,
+            )
+        if options.strict:
+            failed = True
+
+    if fresh:
+        accepted = len(findings) - len(fresh)
+        print(
+            f"\n{len(fresh)} new finding(s)"
+            + (f", {accepted} baselined" if accepted else ""),
+            file=sys.stderr,
+        )
+    return 1 if failed else 0

@@ -1,0 +1,425 @@
+"""Pass A3: cross-check runtime contracts against public entry points.
+
+The runtime contract layer (``repro.core.contracts``) only protects the
+package if every *public entry point* actually calls it.  This pass
+derives the entry-point set from the package ``__init__`` exports
+(``__all__``), finds every array-typed parameter (the ``repro.types``
+aliases, ``np.ndarray``, and ``Iterable[...]`` of those), and verifies
+each one reaches a ``check_*`` call — directly, through an alias
+(``points = np.asarray(points, …)``, a chunk drawn from an iterable
+parameter), or by being forwarded to a callee whose matching parameter
+is checked (computed as a fixpoint, so ``fit_predict → fit →
+check_array`` chains count).
+
+``A301``
+    An array parameter of a public entry point never reaches a
+    ``check_*`` call on any path the pass can see.
+``A302``
+    A ``check_array(..., dtype=…)`` pinned to a dtype that contradicts
+    the parameter's annotation (e.g. ``IntArray`` checked as float64) —
+    one of the two is lying to callers.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .findings import Finding
+from .project import FunctionInfo, Project, dotted_name
+
+_ARRAY_ANNOTATIONS = frozenset(
+    {"FloatArray", "IntArray", "BoolArray", "AnyArray", "ndarray"}
+)
+
+_ITERABLE_WRAPPERS = frozenset(
+    {"Iterable", "Iterator", "Sequence", "Collection", "list", "tuple"}
+)
+
+_CHECK_FUNCTIONS = frozenset({"check_array", "check_labels"})
+
+#: Annotation alias → the dtype a ``check_array`` call should pin.
+_EXPECTED_DTYPES = {
+    "FloatArray": "float64",
+    "IntArray": "int64",
+    "BoolArray": "bool",
+}
+
+#: Alias-creating conversions: ``v = np.asarray(p, …)`` keeps ``v``
+#: standing for the parameter ``p`` as far as checking is concerned.
+_CONVERSIONS = frozenset(
+    {"asarray", "ascontiguousarray", "asfortranarray", "array"}
+)
+
+
+@dataclass
+class _ParamState:
+    """Checking state of one array parameter of one function."""
+
+    name: str
+    index: int
+    annotation: str
+    iterable: bool
+    node: ast.arg
+    checked: bool = False
+    #: Aliases that stand for the parameter verbatim (A302-eligible).
+    direct_aliases: set[str] = field(default_factory=set)
+    #: Aliases through a dtype-changing conversion (credit A301 only).
+    converted_aliases: set[str] = field(default_factory=set)
+
+    def all_aliases(self) -> set[str]:
+        return self.direct_aliases | self.converted_aliases
+
+
+def analyze_contracts(
+    project: Project,
+    packages: tuple[str, ...] = ("repro.core", "repro.baselines"),
+) -> list[Finding]:
+    """Run pass A3 over the exported entry points of ``packages``."""
+    states = _parameter_states(project)
+    _run_fixpoint(project, states)
+    findings: list[Finding] = []
+    for info in _entry_points(project, packages):
+        for state in states.get(info.qualname, []):
+            if not state.checked:
+                findings.append(
+                    _finding(
+                        info,
+                        state.node,
+                        "A301",
+                        f"array parameter {state.name!r} "
+                        f"({state.annotation}) of public entry point "
+                        f"{info.name!r} never reaches a contracts "
+                        f"check_* call",
+                    )
+                )
+    findings.extend(_annotation_mismatches(project, states))
+    return sorted(set(findings))
+
+
+def _entry_points(
+    project: Project, packages: tuple[str, ...]
+) -> list[FunctionInfo]:
+    """Exported functions, plus public methods of exported classes."""
+    entries: dict[str, FunctionInfo] = {}
+    for package in packages:
+        module = project.modules.get(package)
+        if module is None:
+            continue
+        for name in _exported_names(module.tree):
+            resolved = project.resolve(module, name)
+            if resolved is None:
+                continue
+            function = project.functions.get(resolved)
+            if function is not None:
+                if function.module.name != "repro.core.contracts":
+                    entries[function.qualname] = function
+                continue
+            cls = project.classes.get(resolved)
+            if cls is None:
+                continue
+            method_names = set(cls.methods)
+            stack = list(project.base_classes(cls))
+            while stack:
+                base = stack.pop()
+                method_names.update(base.methods)
+                stack.extend(project.base_classes(base))
+            for method_name in method_names:
+                if method_name.startswith("_") and method_name != "__init__":
+                    continue
+                method = project.resolve_method(cls, method_name)
+                if method is not None:
+                    entries[method.qualname] = method
+    return [entries[qualname] for qualname in sorted(entries)]
+
+
+def _exported_names(tree: ast.Module) -> list[str]:
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "__all__"
+            and isinstance(node.value, (ast.List, ast.Tuple))
+        ):
+            return [
+                element.value
+                for element in node.value.elts
+                if isinstance(element, ast.Constant)
+                and isinstance(element.value, str)
+            ]
+    return []
+
+
+# -- parameter states and aliases --------------------------------------
+
+
+def _parameter_states(
+    project: Project,
+) -> dict[str, list[_ParamState]]:
+    states: dict[str, list[_ParamState]] = {}
+    for qualname, info in project.functions.items():
+        param_states: list[_ParamState] = []
+        for index, param in enumerate(info.parameters()):
+            parsed = _array_annotation(param.annotation)
+            if parsed is None:
+                continue
+            annotation, iterable = parsed
+            state = _ParamState(
+                name=param.arg,
+                index=index,
+                annotation=annotation,
+                iterable=iterable,
+                node=param,
+            )
+            state.direct_aliases.add(param.arg)
+            param_states.append(state)
+        if param_states:
+            _collect_aliases(info, param_states)
+            states[qualname] = param_states
+    return states
+
+
+def _array_annotation(node: ast.expr | None) -> tuple[str, bool] | None:
+    """``(base alias, comes wrapped in an iterable)`` or None."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        # ``FloatArray | None`` — the array half decides.
+        return _array_annotation(node.left) or _array_annotation(node.right)
+    if isinstance(node, ast.Subscript):
+        wrapper = dotted_name(node.value)
+        if wrapper is not None and wrapper.rsplit(".", 1)[-1] in (
+            _ITERABLE_WRAPPERS
+        ):
+            inner = node.slice
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                inner = inner.elts[0]
+            parsed = _array_annotation(inner)
+            if parsed is not None:
+                return parsed[0], True
+        return None
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    base = dotted.rsplit(".", 1)[-1]
+    if base in _ARRAY_ANNOTATIONS:
+        return base, False
+    return None
+
+
+def _collect_aliases(
+    info: FunctionInfo, states: list[_ParamState]
+) -> None:
+    by_alias: dict[str, list[_ParamState]] = {}
+
+    def register(alias: str, state: _ParamState, direct: bool) -> None:
+        # Idempotent: re-binding an alias to itself (``p = np.asarray(p)``)
+        # must not grow the work list.
+        if alias in state.all_aliases():
+            return
+        if direct:
+            state.direct_aliases.add(alias)
+        else:
+            state.converted_aliases.add(alias)
+        by_alias.setdefault(alias, []).append(state)
+
+    for state in states:
+        by_alias.setdefault(state.name, []).append(state)
+
+    # Two sweeps so chains like ``a = p; b = np.asarray(a)`` resolve
+    # regardless of how deeply they nest in the statement tree.
+    for _ in range(2):
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                source, direct = _alias_source(node.value)
+                if source is None:
+                    continue
+                for state in by_alias.get(source, []):
+                    register(target.id, state, direct)
+            elif isinstance(node, ast.For):
+                source = dotted_name(node.iter)
+                if source is None and isinstance(node.iter, ast.Call):
+                    # ``for i, chunk in enumerate(chunks)``.
+                    callee = dotted_name(node.iter.func)
+                    if callee == "enumerate" and node.iter.args:
+                        source = dotted_name(node.iter.args[0])
+                if source is None:
+                    continue
+                for state in by_alias.get(source, []):
+                    if not state.iterable:
+                        continue
+                    target = node.target
+                    if isinstance(target, ast.Tuple) and target.elts:
+                        target = target.elts[-1]
+                    if isinstance(target, ast.Name):
+                        register(target.id, state, direct=True)
+
+
+def _alias_source(value: ast.expr) -> tuple[str | None, bool]:
+    """Name the assignment value stands for, and whether verbatim."""
+    if isinstance(value, ast.Name):
+        return value.id, True
+    if isinstance(value, ast.Call):
+        callee = dotted_name(value.func)
+        if callee is not None:
+            base = callee.rsplit(".", 1)[-1]
+            if base in _CONVERSIONS and value.args:
+                source = dotted_name(value.args[0])
+                converted = any(k.arg == "dtype" for k in value.keywords) or (
+                    len(value.args) > 1
+                )
+                return source, not converted
+            if base in _CHECK_FUNCTIONS and len(value.args) >= 2:
+                # ``points = check_array("points", points, …)`` chains.
+                return dotted_name(value.args[1]), True
+        if isinstance(value.func, ast.Attribute) and value.func.attr == "copy":
+            return dotted_name(value.func.value), True
+    return None, True
+
+
+# -- the checking fixpoint ---------------------------------------------
+
+
+def _run_fixpoint(
+    project: Project, states: dict[str, list[_ParamState]]
+) -> None:
+    changed = True
+    while changed:
+        changed = False
+        for qualname, param_states in states.items():
+            info = project.functions[qualname]
+            for state in param_states:
+                if state.checked:
+                    continue
+                if _param_is_checked(project, info, state, states):
+                    state.checked = True
+                    changed = True
+
+
+def _param_is_checked(
+    project: Project,
+    info: FunctionInfo,
+    state: _ParamState,
+    states: dict[str, list[_ParamState]],
+) -> bool:
+    aliases = state.all_aliases()
+    for node in ast.walk(info.node):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = dotted_name(node.func)
+        if callee is None:
+            continue
+        base = callee.rsplit(".", 1)[-1]
+        if base in _CHECK_FUNCTIONS:
+            if len(node.args) >= 2 and (
+                dotted_name(node.args[1]) in aliases
+            ):
+                return True
+            continue
+        target = _resolve_call_target(project, info, callee)
+        if target is None:
+            continue
+        target_states = states.get(target.qualname, [])
+        if not target_states:
+            continue
+        positions = {s.index: s for s in target_states}
+        names = {s.name: s for s in target_states}
+        for position, arg in enumerate(node.args):
+            if dotted_name(arg) in aliases and position in positions:
+                if positions[position].checked:
+                    return True
+        for keyword in node.keywords:
+            if (
+                keyword.arg in names
+                and dotted_name(keyword.value) in aliases
+                and names[keyword.arg].checked
+            ):
+                return True
+    return False
+
+
+def _resolve_call_target(
+    project: Project, info: FunctionInfo, callee: str
+) -> FunctionInfo | None:
+    head, _, rest = callee.partition(".")
+    if head == "self" and rest and "." not in rest:
+        cls = project.class_of_function(info)
+        if cls is not None:
+            return project.resolve_method(cls, rest)
+        return None
+    return project.resolve_function(info.module, callee)
+
+
+# -- A302: annotation/check disagreement -------------------------------
+
+
+def _annotation_mismatches(
+    project: Project, states: dict[str, list[_ParamState]]
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for qualname, param_states in states.items():
+        info = project.functions[qualname]
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            if callee is None or callee.rsplit(".", 1)[-1] != "check_array":
+                continue
+            if len(node.args) < 2:
+                continue
+            argument = dotted_name(node.args[1])
+            pinned = _pinned_dtype(node)
+            if argument is None or pinned is None:
+                continue
+            for state in param_states:
+                expected = _EXPECTED_DTYPES.get(state.annotation)
+                if expected is None:
+                    continue
+                if argument in state.direct_aliases and pinned != expected:
+                    findings.append(
+                        _finding(
+                            info,
+                            node,
+                            "A302",
+                            f"parameter {state.name!r} is annotated "
+                            f"{state.annotation} ({expected}) but "
+                            f"check_array pins dtype={pinned}",
+                        )
+                    )
+    return findings
+
+
+def _pinned_dtype(node: ast.Call) -> str | None:
+    for keyword in node.keywords:
+        if keyword.arg != "dtype":
+            continue
+        spec = dotted_name(keyword.value)
+        if spec is None:
+            return None
+        base = spec.rsplit(".", 1)[-1]
+        return {"bool_": "bool", "float": "float64", "bool": "bool"}.get(
+            base, base
+        )
+    return None
+
+
+def _finding(
+    info: FunctionInfo, node: ast.AST, code: str, message: str
+) -> Finding:
+    return Finding(
+        path=str(info.module.path),
+        line=getattr(node, "lineno", info.node.lineno),
+        col=getattr(node, "col_offset", 0),
+        code=code,
+        symbol=info.qualname,
+        message=message,
+    )

@@ -1,0 +1,140 @@
+"""Abstract values for the shape/dtype dataflow pass.
+
+The lattice tracks arrays as ``(ndim, dtype)`` pairs where either
+component may be unknown (``None``).  Joins go to unknown on
+disagreement — the pass only reports what it can prove, so unknown
+means silence, never a finding.
+
+dtype names are numpy's canonical names (``float64``, ``uint32`` …),
+obtained through :func:`numpy.dtype` so the analyser agrees with the
+library about aliases and byte orders (``">u4"`` → ``uint32``).
+Two extra bits refine the dtype component:
+
+``integral``
+    A float array whose values are provably whole numbers
+    (results of ``np.floor``/``ceil``/``rint``/``trunc``).  Casting an
+    integral float to an integer dtype is exact and is not a finding.
+``weak``
+    The value came from a Python scalar literal; numpy applies
+    value-based weak promotion to these, so mixing one into an
+    expression is not a silent-upcast finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+#: Dtype constructors whose width depends on the platform's C ``long``/
+#: pointer size.  ``np.int_`` is 32-bit on Windows and 64-bit on Linux;
+#: code that mixes it with explicit widths behaves differently per OS.
+PLATFORM_DEPENDENT_INTS = frozenset(
+    {
+        "int",
+        "np.int_",
+        "np.uint",
+        "np.intp",
+        "np.uintp",
+        "np.longlong",
+        "np.ulonglong",
+        "numpy.int_",
+        "numpy.uint",
+        "numpy.intp",
+        "numpy.uintp",
+        "numpy.longlong",
+        "numpy.ulonglong",
+    }
+)
+
+#: String dtype spellings with platform-dependent width.
+PLATFORM_DEPENDENT_STRINGS = frozenset({"int", "uint", "intp", "uintp", "long"})
+
+
+def canonical_dtype(spec: object) -> str | None:
+    """Canonical numpy dtype name for a literal spec, or None."""
+    try:
+        return np.dtype(spec).name  # type: ignore[call-overload]
+    except TypeError:
+        return None
+
+
+def is_safe_cast(source: str, target: str) -> bool:
+    """True when every ``source`` value is representable in ``target``."""
+    return bool(np.can_cast(np.dtype(source), np.dtype(target), casting="safe"))
+
+
+def promoted_dtype(left: str, right: str) -> str | None:
+    """Result dtype of a binary op between two known dtypes."""
+    try:
+        return np.result_type(np.dtype(left), np.dtype(right)).name
+    except TypeError:
+        return None
+
+
+@dataclass(frozen=True)
+class ArrayValue:
+    """Abstract array: rank and dtype, either possibly unknown."""
+
+    ndim: int | None = None
+    dtype: str | None = None
+    integral: bool = False
+    weak: bool = False
+
+    @property
+    def known_dtype(self) -> bool:
+        return self.dtype is not None
+
+    def with_dtype(self, dtype: str | None, integral: bool = False) -> "ArrayValue":
+        return replace(self, dtype=dtype, integral=integral, weak=False)
+
+    def with_ndim(self, ndim: int | None) -> "ArrayValue":
+        return replace(self, ndim=ndim)
+
+    def join(self, other: "ArrayValue") -> "ArrayValue":
+        """Least upper bound: agreement survives, conflict → unknown."""
+        return ArrayValue(
+            ndim=self.ndim if self.ndim == other.ndim else None,
+            dtype=self.dtype if self.dtype == other.dtype else None,
+            integral=self.integral and other.integral,
+            weak=self.weak and other.weak,
+        )
+
+
+#: The completely-unknown array value.
+TOP = ArrayValue()
+
+
+def scalar(dtype: str, weak: bool = False) -> ArrayValue:
+    """0-d abstract value for a scalar of a known dtype."""
+    return ArrayValue(ndim=0, dtype=dtype, weak=weak)
+
+
+def join_all(values: list[ArrayValue]) -> ArrayValue:
+    result: ArrayValue | None = None
+    for value in values:
+        result = value if result is None else result.join(value)
+    return result if result is not None else TOP
+
+
+#: Annotation name → abstract value, for the repro.types aliases used
+#: across repro.core.  Seeding from annotations is what lets the pass
+#: reason about public APIs without whole-program inference.
+ANNOTATION_VALUES: dict[str, ArrayValue] = {
+    "FloatArray": ArrayValue(dtype="float64"),
+    "IntArray": ArrayValue(dtype="int64"),
+    "BoolArray": ArrayValue(dtype="bool"),
+    "AnyArray": ArrayValue(),
+    "ndarray": ArrayValue(),
+    "int": scalar("int64"),
+    "float": scalar("float64"),
+    "bool": scalar("bool"),
+}
+
+
+def value_from_annotation(annotation: str | None) -> ArrayValue | None:
+    """Abstract value for an annotation name, or None if not an array."""
+    if annotation is None:
+        return None
+    base = annotation.rsplit(".", 1)[-1]
+    return ANNOTATION_VALUES.get(base)

@@ -1,0 +1,343 @@
+"""Project model: parsed modules, import tables and symbol indexes.
+
+Every pass of repro-analyze works on one :class:`Project` — the parsed
+ASTs of all Python files under the analysed roots plus the symbol
+tables needed to resolve a dotted name at a call site to the project
+function or class it denotes.  Resolution is best-effort and purely
+static: it follows ``import``/``from … import`` bindings, module-level
+definitions and ``self.method`` dispatch inside a known class; dynamic
+dispatch (callables stored in data structures) is left to the
+conservative closure of the purity pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name derived from package ``__init__.py`` markers.
+
+    Walks up from the file while ``__init__.py`` exists, so the name is
+    independent of which root the analyser was pointed at
+    (``src`` and ``src/repro`` both yield ``repro.core.mrcc``).
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    package = path.parent
+    while (package / "__init__.py").exists():
+        parts.append(package.name)
+        package = package.parent
+    return ".".join(reversed(parts)) if parts else path.stem
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str
+    node: FunctionNode
+    module: "ModuleInfo"
+    class_name: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def is_public(self) -> bool:
+        return not self.node.name.startswith("_")
+
+    def parameters(self) -> list[ast.arg]:
+        """Positional/keyword parameters, ``self``/``cls`` stripped."""
+        args = self.node.args
+        params = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        if self.class_name and params and params[0].arg in {"self", "cls"}:
+            params = params[1:]
+        return params
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its method table and base names."""
+
+    qualname: str
+    node: ast.ClassDef
+    module: "ModuleInfo"
+    methods: dict[str, str] = field(default_factory=dict)
+    bases: list[str] = field(default_factory=list)
+    annotations: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module with its import and global-name tables."""
+
+    name: str
+    path: Path
+    tree: ast.Module
+    imports: dict[str, str] = field(default_factory=dict)
+    module_globals: set[str] = field(default_factory=set)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+
+
+class Project:
+    """All modules under the analysed roots plus global symbol indexes."""
+
+    def __init__(self, modules: dict[str, ModuleInfo]):
+        self.modules = modules
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.unparsable: list[tuple[Path, SyntaxError]] = []
+        for module in modules.values():
+            self.functions.update(module.functions)
+            self.classes.update(module.classes)
+
+    # -- loading -------------------------------------------------------
+
+    @staticmethod
+    def load(roots: Iterable[str | Path]) -> "Project":
+        """Parse every ``*.py`` under the roots into a Project."""
+        modules: dict[str, ModuleInfo] = {}
+        unparsable: list[tuple[Path, SyntaxError]] = []
+        for path in _iter_python_files(roots):
+            try:
+                tree = ast.parse(path.read_text(encoding="utf-8"), str(path))
+            except SyntaxError as error:
+                unparsable.append((path, error))
+                continue
+            info = _index_module(module_name_for(path), path, tree)
+            modules[info.name] = info
+        project = Project(modules)
+        project.unparsable = unparsable
+        return project
+
+    # -- resolution ----------------------------------------------------
+
+    def resolve(self, module: ModuleInfo, dotted: str) -> str | None:
+        """Fully-qualified name a dotted expression denotes, or None.
+
+        Follows the module's import table, then module-level
+        definitions.  The result is a *name*, which may or may not be
+        indexed (``numpy.zeros`` resolves but is not a project symbol).
+        """
+        head, _, rest = dotted.partition(".")
+        if head in module.imports:
+            target = module.imports[head]
+            return f"{target}.{rest}" if rest else target
+        if (
+            head in module.functions
+            or head in module.classes
+            or head in module.module_globals
+        ):
+            return f"{module.name}.{dotted}"
+        return None
+
+    def resolve_function(
+        self, module: ModuleInfo, dotted: str
+    ) -> FunctionInfo | None:
+        """Project function a dotted call-site name denotes, or None."""
+        full = self.resolve(module, dotted)
+        if full is None:
+            return None
+        if full in self.functions:
+            return self.functions[full]
+        # ``module_alias.Class.method`` style references.
+        if full in self.classes:
+            return None
+        head, _, attr = full.rpartition(".")
+        cls = self.classes.get(head)
+        if cls is not None and attr in cls.methods:
+            return self.functions.get(cls.methods[attr])
+        return None
+
+    def resolve_class(
+        self, module: ModuleInfo, dotted: str
+    ) -> ClassInfo | None:
+        """Project class a dotted name denotes, or None."""
+        full = self.resolve(module, dotted)
+        return self.classes.get(full) if full else None
+
+    def resolve_method(
+        self, cls: ClassInfo, method: str
+    ) -> FunctionInfo | None:
+        """Method lookup through the class and its project bases."""
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop()
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            if method in current.methods:
+                return self.functions.get(current.methods[method])
+            for base in self.base_classes(current):
+                stack.append(base)
+        return None
+
+    def base_classes(self, cls: ClassInfo) -> Iterator[ClassInfo]:
+        """Project classes among ``cls``'s written bases."""
+        for base in cls.bases:
+            resolved = self.resolve_class(cls.module, base)
+            if resolved is not None:
+                yield resolved
+
+    def class_of_function(self, info: FunctionInfo) -> ClassInfo | None:
+        """The ClassInfo a method belongs to, if any."""
+        if info.class_name is None:
+            return None
+        return self.classes.get(f"{info.module.name}.{info.class_name}")
+
+
+def _iter_python_files(roots: Iterable[str | Path]) -> Iterator[Path]:
+    for entry in roots:
+        root = Path(entry)
+        if root.is_file():
+            if root.suffix == ".py":
+                yield root
+            continue
+        if not root.exists():
+            raise FileNotFoundError(f"no such file or directory: {root}")
+        for candidate in sorted(root.rglob("*.py")):
+            parts = candidate.parts
+            if any(p == "__pycache__" or p.startswith(".") for p in parts):
+                continue
+            yield candidate
+
+
+def _index_module(name: str, path: Path, tree: ast.Module) -> ModuleInfo:
+    module = ModuleInfo(name=name, path=path, tree=tree)
+    _collect_imports(module, tree)
+    for node in tree.body:
+        _collect_global_names(module, node)
+    _collect_definitions(module, tree.body, prefix="", class_name=None)
+    return module
+
+
+def _collect_imports(module: ModuleInfo, tree: ast.Module) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                target = alias.name if alias.asname else local
+                module.imports[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            base = _absolute_import_base(module.name, node)
+            if base is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                module.imports[local] = (
+                    f"{base}.{alias.name}" if base else alias.name
+                )
+
+
+def _absolute_import_base(
+    module_name: str, node: ast.ImportFrom
+) -> str | None:
+    if node.level == 0:
+        return node.module or ""
+    # Relative import: drop ``level`` trailing components (the module
+    # itself counts as one level).
+    parts = module_name.split(".")
+    if node.level > len(parts):
+        return None
+    base_parts = parts[: len(parts) - node.level]
+    if node.module:
+        base_parts.append(node.module)
+    return ".".join(base_parts)
+
+
+def _collect_global_names(module: ModuleInfo, node: ast.stmt) -> None:
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            for name_node in ast.walk(target):
+                if isinstance(name_node, ast.Name):
+                    module.module_globals.add(name_node.id)
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        if isinstance(node.target, ast.Name):
+            module.module_globals.add(node.target.id)
+    elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        module.module_globals.add(node.name)
+    elif isinstance(node, (ast.If, ast.Try)):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                _collect_global_names(module, child)
+
+
+def _collect_definitions(
+    module: ModuleInfo,
+    body: list[ast.stmt],
+    prefix: str,
+    class_name: str | None,
+) -> None:
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            local_qual = f"{prefix}{node.name}"
+            info = FunctionInfo(
+                qualname=f"{module.name}.{local_qual}",
+                node=node,
+                module=module,
+                class_name=class_name,
+            )
+            module.functions[info.qualname] = info
+            if class_name is not None and prefix == f"{class_name}.":
+                cls = module.classes[f"{module.name}.{class_name}"]
+                cls.methods[node.name] = info.qualname
+            # Nested defs are indexed too (qualified by the outer name).
+            _collect_definitions(
+                module, node.body, prefix=f"{local_qual}.", class_name=None
+            )
+        elif isinstance(node, ast.ClassDef):
+            cls = ClassInfo(
+                qualname=f"{module.name}.{node.name}",
+                node=node,
+                module=module,
+                bases=[
+                    dotted
+                    for base in node.bases
+                    if (dotted := dotted_name(base)) is not None
+                ],
+            )
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    annotation = dotted_name(stmt.annotation)
+                    if annotation is None and isinstance(
+                        stmt.annotation, ast.Constant
+                    ):
+                        annotation = str(stmt.annotation.value)
+                    if annotation is not None:
+                        cls.annotations[stmt.target.id] = annotation
+            module.classes[cls.qualname] = cls
+            _collect_definitions(
+                module,
+                node.body,
+                prefix=f"{node.name}.",
+                class_name=node.name,
+            )

@@ -1,0 +1,847 @@
+"""Pass A1: shape/dtype dataflow over ``repro.core``.
+
+A per-function abstract interpreter propagates :class:`ArrayValue`
+facts — ``(ndim, dtype)`` plus the *integral* and *weak* refinements —
+through assignments, numpy constructors/ufuncs/reductions, subscripts
+and calls.  Parameter annotations (the ``repro.types`` aliases) seed
+the environment; ``check_array`` calls refine it; project-function
+calls consume return summaries computed in a first, silent round, so
+facts flow interprocedurally without whole-program iteration.
+
+Findings:
+
+``A101``
+    A cast (``astype``/``asarray``/``array`` with an explicit dtype)
+    whose target cannot represent every value of a known source dtype
+    (``np.can_cast(..., casting="safe")`` fails).  Exempt: casting a
+    provably *integral* float (``np.floor`` result) to an integer
+    dtype, and weak Python scalars.
+``A102``
+    A dtype spelled with a platform-dependent width (``int``,
+    ``np.int_``, ``np.intp``, ``"long"`` …) — the repro guarantee
+    requires identical widths on every platform.
+``A103``
+    A shape-incompatible operation: a reduction ``axis`` outside a
+    known rank, or a subscript with more integer indices than the
+    value has dimensions.
+``A104``
+    A silent upcast: a binary operation between two known, non-weak
+    dtypes whose numpy promotion is wider than *both* operands
+    (the ``uint64 + int64 → float64`` class of surprise).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from .findings import Finding
+from .lattice import (
+    TOP,
+    ArrayValue,
+    PLATFORM_DEPENDENT_INTS,
+    PLATFORM_DEPENDENT_STRINGS,
+    canonical_dtype,
+    is_safe_cast,
+    join_all,
+    promoted_dtype,
+    scalar,
+    value_from_annotation,
+)
+from .project import FunctionInfo, Project, dotted_name
+
+#: Reductions: name → (dtype rule, drops the axis dimension).
+_REDUCTIONS: dict[str, tuple[str, bool]] = {
+    "sum": ("preserve-int", True),
+    "prod": ("preserve-int", True),
+    "min": ("preserve", True),
+    "max": ("preserve", True),
+    "amin": ("preserve", True),
+    "amax": ("preserve", True),
+    "mean": ("float", True),
+    "median": ("float", True),
+    "std": ("float", True),
+    "var": ("float", True),
+    "any": ("bool", True),
+    "all": ("bool", True),
+    "argmin": ("unknown", True),
+    "argmax": ("unknown", True),
+    "cumsum": ("preserve-int", False),
+}
+
+_INTEGRAL_UFUNCS = frozenset({"floor", "ceil", "rint", "trunc"})
+_SHAPE_PRESERVING_UFUNCS = frozenset(
+    {"abs", "absolute", "negative", "sign", "square", "copy"}
+)
+_FLOAT_UFUNCS = frozenset({"sqrt", "exp", "log", "log2", "log10"})
+
+
+@dataclass
+class _ReturnSummary:
+    value: ArrayValue = TOP
+
+
+def analyze_shapes(
+    project: Project, module_prefixes: tuple[str, ...] = ("repro.core",)
+) -> list[Finding]:
+    """Run pass A1 over every function in the matching modules."""
+    targets = [
+        info
+        for info in project.functions.values()
+        if info.module.name.startswith(module_prefixes)
+    ]
+    # Round one: collect return summaries, emit nothing.
+    summaries: dict[str, ArrayValue] = {}
+    for info in targets:
+        interpreter = _Interpreter(project, info, summaries, emit=None)
+        summaries[info.qualname] = interpreter.run()
+    # Round two: re-run with summaries available, emitting findings.
+    findings: list[Finding] = []
+    for info in targets:
+        interpreter = _Interpreter(project, info, summaries, emit=findings)
+        interpreter.run()
+    return sorted(set(findings))
+
+
+class _Interpreter:
+    """Abstract interpreter for one function body."""
+
+    def __init__(
+        self,
+        project: Project,
+        info: FunctionInfo,
+        summaries: dict[str, ArrayValue],
+        emit: list[Finding] | None,
+    ):
+        self.project = project
+        self.info = info
+        self.module = info.module
+        self.summaries = summaries
+        self.findings = emit
+        self.returned: list[ArrayValue] = []
+
+    def run(self) -> ArrayValue:
+        env: dict[str, ArrayValue] = {}
+        for param in self.info.parameters():
+            annotation = (
+                dotted_name(param.annotation)
+                if param.annotation is not None
+                else None
+            )
+            value = value_from_annotation(annotation)
+            if value is not None:
+                env[param.arg] = value
+        self.exec_block(self.info.node.body, env)
+        return join_all(self.returned) if self.returned else TOP
+
+    # -- statements ----------------------------------------------------
+
+    def exec_block(
+        self, body: list[ast.stmt], env: dict[str, ArrayValue]
+    ) -> dict[str, ArrayValue]:
+        for stmt in body:
+            env = self.exec_stmt(stmt, env)
+        return env
+
+    def exec_stmt(
+        self, stmt: ast.stmt, env: dict[str, ArrayValue]
+    ) -> dict[str, ArrayValue]:
+        if isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, value, stmt.value, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            value = (
+                self.eval(stmt.value, env) if stmt.value is not None else TOP
+            )
+            annotated = value_from_annotation(
+                dotted_name(stmt.annotation)
+                if stmt.annotation is not None
+                else None
+            )
+            if value is TOP and annotated is not None:
+                value = annotated
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = value
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                current = env.get(stmt.target.id, TOP)
+                operand = self.eval(stmt.value, env)
+                env[stmt.target.id] = self._binop_value(
+                    stmt, current, operand
+                )
+            else:
+                self.eval(stmt.value, env)
+        elif isinstance(stmt, ast.Expr):
+            self._maybe_refine_from_check(stmt.value, env)
+            self.eval(stmt.value, env)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.returned.append(self.eval(stmt.value, env))
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test, env)
+            then_env = self.exec_block(stmt.body, dict(env))
+            else_env = self.exec_block(stmt.orelse, dict(env))
+            env = _join_envs(then_env, else_env)
+        elif isinstance(stmt, ast.For):
+            iterated = self.eval(stmt.iter, env)
+            self._bind_loop_target(stmt.target, iterated, env)
+            body_env = self.exec_block(stmt.body, dict(env))
+            env = _join_envs(env, body_env)
+            env = self.exec_block(stmt.orelse, env)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test, env)
+            body_env = self.exec_block(stmt.body, dict(env))
+            env = _join_envs(env, body_env)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.eval(item.context_expr, env)
+                if isinstance(item.optional_vars, ast.Name):
+                    env[item.optional_vars.id] = TOP
+            env = self.exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            env = self.exec_block(stmt.body, env)
+            for handler in stmt.handlers:
+                env = _join_envs(env, self.exec_block(handler.body, dict(env)))
+            env = self.exec_block(stmt.orelse, env)
+            env = self.exec_block(stmt.finalbody, env)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child, env)
+        # Nested function/class definitions keep their own pass run;
+        # Pass/Break/Continue/Global/Import change nothing we track.
+        return env
+
+    def _bind(
+        self,
+        target: ast.expr,
+        value: ArrayValue,
+        source: ast.expr,
+        env: dict[str, ArrayValue],
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elements: list[ast.expr] | None = None
+            if isinstance(source, (ast.Tuple, ast.List)) and len(
+                source.elts
+            ) == len(target.elts):
+                elements = source.elts
+            for position, element in enumerate(target.elts):
+                if not isinstance(element, ast.Name):
+                    continue
+                if elements is not None:
+                    env[element.id] = self.eval(elements[position], env)
+                else:
+                    env[element.id] = TOP
+
+    def _bind_loop_target(
+        self,
+        target: ast.expr,
+        iterated: ArrayValue,
+        env: dict[str, ArrayValue],
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if iterated.ndim is not None and iterated.ndim >= 1:
+                env[target.id] = ArrayValue(
+                    ndim=iterated.ndim - 1, dtype=iterated.dtype
+                )
+            else:
+                env[target.id] = TOP
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                if isinstance(element, ast.Name):
+                    env[element.id] = TOP
+
+    def _maybe_refine_from_check(
+        self, expr: ast.expr, env: dict[str, ArrayValue]
+    ) -> None:
+        """``check_array("x", x, dtype=…, ndim=…)`` refines ``x``."""
+        if not isinstance(expr, ast.Call):
+            return
+        callee = dotted_name(expr.func)
+        if callee is None or callee.split(".")[-1] != "check_array":
+            return
+        if len(expr.args) < 2 or not isinstance(expr.args[1], ast.Name):
+            return
+        name = expr.args[1].id
+        refined = env.get(name, TOP)
+        for keyword in expr.keywords:
+            if keyword.arg == "dtype":
+                spec = self._dtype_spec(keyword.value, env, check=False)
+                if spec is not None:
+                    refined = refined.with_dtype(spec)
+            elif keyword.arg == "ndim" and isinstance(
+                keyword.value, ast.Constant
+            ) and isinstance(keyword.value.value, int):
+                refined = refined.with_ndim(keyword.value.value)
+        env[name] = refined
+
+    # -- expressions ---------------------------------------------------
+
+    def eval(self, node: ast.expr, env: dict[str, ArrayValue]) -> ArrayValue:
+        if isinstance(node, ast.Name):
+            return env.get(node.id, TOP)
+        if isinstance(node, ast.Constant):
+            return _constant_value(node.value)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node, env)
+        if isinstance(node, ast.BinOp):
+            left = self.eval(node.left, env)
+            right = self.eval(node.right, env)
+            return self._binop_value(node, left, right)
+        if isinstance(node, ast.UnaryOp):
+            operand = self.eval(node.operand, env)
+            if isinstance(node.op, ast.Not):
+                return ArrayValue(ndim=operand.ndim, dtype="bool")
+            return operand
+        if isinstance(node, ast.Compare):
+            left = self.eval(node.left, env)
+            ndim = left.ndim
+            for comparator in node.comparators:
+                other = self.eval(comparator, env)
+                ndim = _broadcast_ndim(ndim, other.ndim)
+            return ArrayValue(ndim=ndim, dtype="bool")
+        if isinstance(node, ast.BoolOp):
+            return join_all([self.eval(v, env) for v in node.values])
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, env)
+            return self.eval(node.body, env).join(self.eval(node.orelse, env))
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node, env)
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value, env)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set, ast.Dict)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.eval(child, env)
+            return TOP
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return TOP
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval(child, env)
+        return TOP
+
+    def _eval_attribute(
+        self, node: ast.Attribute, env: dict[str, ArrayValue]
+    ) -> ArrayValue:
+        dotted = dotted_name(node)
+        # ``self.field`` seeds from the class body annotations.
+        if dotted is not None and dotted.startswith("self."):
+            cls = self.project.class_of_function(self.info)
+            rest = dotted[len("self.") :]
+            if cls is not None and "." not in rest:
+                value = value_from_annotation(cls.annotations.get(rest))
+                if value is not None:
+                    return value
+            return TOP
+        base = self.eval(node.value, env)
+        if node.attr == "T":
+            return base
+        if node.attr in {"shape", "dtype", "size", "itemsize", "ndim"}:
+            return TOP
+        return TOP
+
+    def _binop_value(
+        self,
+        node: ast.BinOp | ast.AugAssign,
+        left: ArrayValue,
+        right: ArrayValue,
+    ) -> ArrayValue:
+        ndim = _broadcast_ndim(left.ndim, right.ndim)
+        op = node.op
+        if isinstance(op, (ast.LShift, ast.RShift, ast.BitAnd, ast.BitOr)):
+            dtype = left.dtype if not left.weak else right.dtype
+            return ArrayValue(ndim=ndim, dtype=dtype)
+        if isinstance(op, ast.Div):
+            return ArrayValue(ndim=ndim, dtype="float64")
+        if left.dtype is None or right.dtype is None:
+            return ArrayValue(ndim=ndim)
+        if left.weak != right.weak:
+            strong = right if left.weak else left
+            return ArrayValue(
+                ndim=ndim, dtype=strong.dtype, integral=strong.integral
+            )
+        promoted = promoted_dtype(left.dtype, right.dtype)
+        if (
+            promoted is not None
+            and not left.weak
+            and promoted not in (left.dtype, right.dtype)
+        ):
+            self._report(
+                "A104",
+                node,
+                f"operands {left.dtype} and {right.dtype} silently "
+                f"promote to {promoted}, wider than either",
+            )
+        return ArrayValue(
+            ndim=ndim,
+            dtype=promoted,
+            integral=left.integral and right.integral,
+            weak=left.weak and right.weak,
+        )
+
+    def _eval_subscript(
+        self, node: ast.Subscript, env: dict[str, ArrayValue]
+    ) -> ArrayValue:
+        base = self.eval(node.value, env)
+        index = node.slice
+        self.eval(index, env) if isinstance(index, ast.expr) else None
+        if base.ndim is None:
+            return ArrayValue(dtype=base.dtype, integral=base.integral)
+        if isinstance(index, ast.Tuple):
+            elements = index.elts
+            if any(
+                isinstance(e, ast.Constant) and e.value is None
+                or isinstance(e, ast.Constant) and e.value is Ellipsis
+                for e in elements
+            ):
+                return ArrayValue(dtype=base.dtype, integral=base.integral)
+            if len(elements) > base.ndim:
+                self._report(
+                    "A103",
+                    node,
+                    f"subscript has {len(elements)} indices but the value "
+                    f"has {base.ndim} dimension(s)",
+                )
+                return TOP
+            dropped = sum(
+                0 if isinstance(e, ast.Slice) else 1 for e in elements
+            )
+            # An array index fancy-selects; its rank is unknown here.
+            if any(
+                not isinstance(e, (ast.Slice, ast.Constant, ast.UnaryOp))
+                and self.eval(e, env).ndim not in (0, None)
+                for e in elements
+            ):
+                return ArrayValue(dtype=base.dtype, integral=base.integral)
+            return ArrayValue(
+                ndim=base.ndim - dropped,
+                dtype=base.dtype,
+                integral=base.integral,
+            )
+        if isinstance(index, ast.Slice):
+            return base
+        index_value = self.eval(index, env)
+        if index_value.ndim not in (0, None):
+            if index_value.dtype == "bool":
+                # Boolean masking flattens the selected axes.
+                return ArrayValue(
+                    ndim=1 if base.ndim == 1 else None,
+                    dtype=base.dtype,
+                    integral=base.integral,
+                )
+            return ArrayValue(
+                ndim=base.ndim, dtype=base.dtype, integral=base.integral
+            )
+        if index_value.ndim == 0:
+            return ArrayValue(
+                ndim=base.ndim - 1, dtype=base.dtype, integral=base.integral
+            )
+        # Unknown index rank (e.g. ``np.ix_`` products): unknown result.
+        return ArrayValue(dtype=base.dtype, integral=base.integral)
+
+    # -- calls ---------------------------------------------------------
+
+    def _eval_call(
+        self, node: ast.Call, env: dict[str, ArrayValue]
+    ) -> ArrayValue:
+        for arg in node.args:
+            self.eval(arg, env)
+        for keyword in node.keywords:
+            self.eval(keyword.value, env)
+
+        dotted = dotted_name(node.func)
+        # Method call on a tracked value: ``x.astype(...)``, ``x.sum()``.
+        if isinstance(node.func, ast.Attribute):
+            receiver_name = dotted_name(node.func.value)
+            method = node.func.attr
+            if receiver_name is None or not self._is_module_like(
+                receiver_name
+            ):
+                receiver = self.eval(node.func.value, env)
+                result = self._eval_method(node, method, receiver, env)
+                if result is not None:
+                    return result
+        if dotted is None:
+            return TOP
+
+        numpy_name = self._numpy_function(dotted)
+        if numpy_name is not None:
+            result = self._eval_numpy(node, numpy_name, env)
+            if result is not None:
+                return result
+            return TOP
+
+        # Project call: use the round-one return summary.
+        head = dotted.partition(".")[0]
+        if head == "self" and self.info.class_name is not None:
+            cls = self.project.class_of_function(self.info)
+            rest = dotted.partition(".")[2]
+            if cls is not None and rest and "." not in rest:
+                method_info = self.project.resolve_method(cls, rest)
+                if method_info is not None:
+                    return self.summaries.get(method_info.qualname, TOP)
+            return TOP
+        function = self.project.resolve_function(self.module, dotted)
+        if function is not None:
+            return self.summaries.get(function.qualname, TOP)
+        return TOP
+
+    def _is_module_like(self, receiver: str) -> bool:
+        head = receiver.partition(".")[0]
+        resolved = self.module.imports.get(head)
+        if resolved is None:
+            return False
+        # Imported callables (``from x import f``) are not modules.
+        return resolved in self.project.modules or head in (
+            "np",
+            "numpy",
+            "scipy",
+            "stats",
+        )
+
+    def _eval_method(
+        self,
+        node: ast.Call,
+        method: str,
+        receiver: ArrayValue,
+        env: dict[str, ArrayValue],
+    ) -> ArrayValue | None:
+        if method == "astype":
+            spec_node = node.args[0] if node.args else _keyword(node, "dtype")
+            return self._cast_value(node, receiver, spec_node, env)
+        if method in {"copy", "clip"}:
+            return receiver
+        if method in {"ravel", "flatten"}:
+            return ArrayValue(
+                ndim=1, dtype=receiver.dtype, integral=receiver.integral
+            )
+        if method == "reshape":
+            ndim = _reshape_ndim(node)
+            return ArrayValue(
+                ndim=ndim, dtype=receiver.dtype, integral=receiver.integral
+            )
+        if method == "view":
+            return ArrayValue(ndim=receiver.ndim)
+        if method in {"tolist", "item"}:
+            return TOP
+        if method in _REDUCTIONS:
+            return self._reduction_value(node, method, receiver, env)
+        return None
+
+    def _numpy_function(self, dotted: str) -> str | None:
+        head, _, rest = dotted.partition(".")
+        if head in ("np", "numpy") and rest:
+            return rest
+        return None
+
+    def _eval_numpy(
+        self, node: ast.Call, name: str, env: dict[str, ArrayValue]
+    ) -> ArrayValue | None:
+        first = (
+            self.eval(node.args[0], env) if node.args else TOP
+        )
+        if name in {"asarray", "ascontiguousarray", "asfortranarray", "array"}:
+            spec_node = _keyword(node, "dtype")
+            if spec_node is None and name == "array" and len(node.args) > 1:
+                spec_node = node.args[1]
+            if spec_node is None:
+                source = first if node.args and isinstance(
+                    node.args[0], (ast.Name, ast.Attribute, ast.Call)
+                ) else TOP
+                return source
+            return self._cast_value(node, first, spec_node, env)
+        if name in {"zeros", "ones", "empty", "full"}:
+            spec_node = _keyword(node, "dtype")
+            if spec_node is None and name != "full" and len(node.args) > 1:
+                spec_node = node.args[1]
+            dtype = (
+                self._dtype_spec(spec_node, env)
+                if spec_node is not None
+                else "float64"
+            )
+            return ArrayValue(ndim=_shape_arg_ndim(node), dtype=dtype)
+        if name == "zeros_like" or name == "ones_like" or name == "empty_like":
+            return first
+        if name == "arange":
+            spec_node = _keyword(node, "dtype")
+            dtype = (
+                self._dtype_spec(spec_node, env)
+                if spec_node is not None
+                else None
+            )
+            return ArrayValue(ndim=1, dtype=dtype)
+        if name == "linspace":
+            return ArrayValue(ndim=1, dtype="float64")
+        if name in _INTEGRAL_UFUNCS:
+            return ArrayValue(
+                ndim=first.ndim,
+                dtype=first.dtype if not first.weak else "float64",
+                integral=True,
+            )
+        if name in _SHAPE_PRESERVING_UFUNCS:
+            return first
+        if name in _FLOAT_UFUNCS:
+            return ArrayValue(ndim=first.ndim, dtype="float64")
+        if name in {"minimum", "maximum"} and len(node.args) >= 2:
+            second = self.eval(node.args[1], env)
+            return self._binop_pair(first, second)
+        if name == "where" and len(node.args) >= 3:
+            return self.eval(node.args[1], env).join(
+                self.eval(node.args[2], env)
+            )
+        if name == "clip":
+            return first
+        if name in _REDUCTIONS:
+            return self._reduction_value(node, name, first, env)
+        if name in {"add.reduceat", "maximum.reduceat", "minimum.reduceat"}:
+            axis = _axis_argument(node, positional_index=2)
+            self._check_axis(node, first, axis)
+            return ArrayValue(ndim=first.ndim, dtype=first.dtype)
+        if name in {"diff", "sort", "unique"}:
+            return ArrayValue(ndim=first.ndim, dtype=first.dtype)
+        if name in {"concatenate", "stack", "vstack", "hstack"}:
+            if node.args and isinstance(node.args[0], (ast.List, ast.Tuple)):
+                parts = [self.eval(e, env) for e in node.args[0].elts]
+                joined = join_all(parts) if parts else TOP
+                if name == "stack" and joined.ndim is not None:
+                    return ArrayValue(
+                        ndim=joined.ndim + 1, dtype=joined.dtype
+                    )
+                return joined
+            return TOP
+        if name in {"append"} and len(node.args) >= 2:
+            return self.eval(node.args[0], env).join(
+                self.eval(node.args[1], env)
+            )
+        if name in {"argsort", "flatnonzero", "searchsorted", "bincount"}:
+            # These return platform ``intp`` indices by numpy's own
+            # choice — the analysed code cannot fix that, so the dtype
+            # stays unknown rather than flagged.
+            ndim = 1 if name in {"flatnonzero", "bincount"} else None
+            return ArrayValue(ndim=ndim)
+        if name == "dtype":
+            return TOP
+        return None
+
+    def _binop_pair(self, left: ArrayValue, right: ArrayValue) -> ArrayValue:
+        ndim = _broadcast_ndim(left.ndim, right.ndim)
+        if left.dtype is None or right.dtype is None:
+            return ArrayValue(ndim=ndim)
+        if left.weak != right.weak:
+            strong = right if left.weak else left
+            return ArrayValue(ndim=ndim, dtype=strong.dtype)
+        return ArrayValue(ndim=ndim, dtype=promoted_dtype(left.dtype, right.dtype))
+
+    def _reduction_value(
+        self,
+        node: ast.Call,
+        name: str,
+        operand: ArrayValue,
+        env: dict[str, ArrayValue],
+    ) -> ArrayValue:
+        kind, drops_axis = _REDUCTIONS[name]
+        axis = _axis_argument(node, positional_index=1)
+        self._check_axis(node, operand, axis)
+        if kind == "float":
+            dtype: str | None = "float64"
+        elif kind == "bool":
+            dtype = "bool"
+        elif kind == "preserve":
+            dtype = operand.dtype
+        elif kind == "preserve-int":
+            # Summing bools (or narrow ints) widens to the platform
+            # default; only 64-bit and float dtypes survive unchanged.
+            dtype = (
+                operand.dtype
+                if operand.dtype in {"int64", "uint64", "float64"}
+                else None
+            )
+        else:
+            dtype = None
+        if not drops_axis:
+            return ArrayValue(ndim=operand.ndim, dtype=dtype)
+        if axis is None and not _has_axis_argument(node):
+            return ArrayValue(ndim=0, dtype=dtype)
+        if operand.ndim is not None and axis is not None:
+            return ArrayValue(ndim=max(operand.ndim - 1, 0), dtype=dtype)
+        return ArrayValue(dtype=dtype)
+
+    def _check_axis(
+        self, node: ast.Call, operand: ArrayValue, axis: int | None
+    ) -> None:
+        if axis is None or operand.ndim is None:
+            return
+        if not -operand.ndim <= axis < operand.ndim:
+            self._report(
+                "A103",
+                node,
+                f"axis {axis} is out of range for a value with "
+                f"{operand.ndim} dimension(s)",
+            )
+
+    # -- casts ---------------------------------------------------------
+
+    def _cast_value(
+        self,
+        node: ast.Call,
+        source: ArrayValue,
+        spec_node: ast.expr | None,
+        env: dict[str, ArrayValue],
+    ) -> ArrayValue:
+        if spec_node is None:
+            return source
+        target = self._dtype_spec(spec_node, env)
+        if target is None:
+            return ArrayValue(ndim=source.ndim)
+        if (
+            source.dtype is not None
+            and not source.weak
+            and not is_safe_cast(source.dtype, target)
+            and not (source.integral and _is_integer_dtype(target))
+        ):
+            self._report(
+                "A101",
+                node,
+                f"cast from {source.dtype} to {target} can lose values "
+                f"(np.can_cast(..., casting='safe') is false)",
+            )
+        return ArrayValue(ndim=source.ndim, dtype=target)
+
+    def _dtype_spec(
+        self,
+        node: ast.expr,
+        env: dict[str, ArrayValue],
+        check: bool = True,
+    ) -> str | None:
+        """Canonical dtype name of a literal spec; flags A102 inline."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            spelled = node.value
+            if check and spelled.lstrip("<>=") in PLATFORM_DEPENDENT_STRINGS:
+                self._report(
+                    "A102",
+                    node,
+                    f"dtype string {spelled!r} has a platform-dependent "
+                    f"width; spell the width explicitly",
+                )
+                return None
+            return canonical_dtype(spelled)
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        if dotted in PLATFORM_DEPENDENT_INTS:
+            if check:
+                self._report(
+                    "A102",
+                    node,
+                    f"dtype {dotted} has a platform-dependent width; "
+                    f"use an explicit np.int64/np.int32",
+                )
+            return None
+        base = dotted.rsplit(".", 1)[-1]
+        if dotted in ("float", "bool") or dotted.startswith(("np.", "numpy.")):
+            return canonical_dtype(base if base != "float" else "float64")
+        return None
+
+    # -- reporting -----------------------------------------------------
+
+    def _report(self, code: str, node: ast.AST, message: str) -> None:
+        if self.findings is None:
+            return
+        self.findings.append(
+            Finding(
+                path=str(self.info.module.path),
+                line=getattr(node, "lineno", self.info.node.lineno),
+                col=getattr(node, "col_offset", 0),
+                code=code,
+                symbol=self.info.qualname,
+                message=message,
+            )
+        )
+
+
+# -- helpers -----------------------------------------------------------
+
+
+def _constant_value(value: object) -> ArrayValue:
+    if isinstance(value, bool):
+        return scalar("bool", weak=True)
+    if isinstance(value, int):
+        return scalar("int64", weak=True)
+    if isinstance(value, float):
+        return scalar("float64", weak=True)
+    return TOP
+
+
+def _broadcast_ndim(left: int | None, right: int | None) -> int | None:
+    if left is None or right is None:
+        return None
+    return max(left, right)
+
+
+def _join_envs(
+    left: dict[str, ArrayValue], right: dict[str, ArrayValue]
+) -> dict[str, ArrayValue]:
+    result: dict[str, ArrayValue] = {}
+    for key in left.keys() | right.keys():
+        result[key] = left.get(key, TOP).join(right.get(key, TOP))
+    return result
+
+
+def _keyword(node: ast.Call, name: str) -> ast.expr | None:
+    for keyword in node.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def _has_axis_argument(node: ast.Call) -> bool:
+    return _keyword(node, "axis") is not None or len(node.args) > 1
+
+
+def _axis_argument(node: ast.Call, positional_index: int) -> int | None:
+    value = _keyword(node, "axis")
+    if value is None and len(node.args) > positional_index:
+        value = node.args[positional_index]
+    if isinstance(value, ast.Constant) and isinstance(value.value, int):
+        return value.value
+    if (
+        isinstance(value, ast.UnaryOp)
+        and isinstance(value.op, ast.USub)
+        and isinstance(value.operand, ast.Constant)
+        and isinstance(value.operand.value, int)
+    ):
+        return -value.operand.value
+    return None
+
+
+def _reshape_ndim(node: ast.Call) -> int | None:
+    if len(node.args) == 1 and isinstance(node.args[0], ast.Tuple):
+        return len(node.args[0].elts)
+    if node.args and all(
+        not isinstance(a, (ast.Tuple, ast.List)) for a in node.args
+    ):
+        return len(node.args)
+    return None
+
+
+def _shape_arg_ndim(node: ast.Call) -> int | None:
+    if not node.args:
+        return None
+    shape = node.args[0]
+    if isinstance(shape, ast.Tuple):
+        return len(shape.elts)
+    if isinstance(shape, ast.Constant) and isinstance(shape.value, int):
+        return 1
+    # ``np.zeros(n)`` with a scalar variable is also rank one, but a
+    # tuple-valued variable is not; stay unknown for non-literals.
+    return None
+
+
+def _is_integer_dtype(dtype: str) -> bool:
+    return dtype.startswith(("int", "uint"))

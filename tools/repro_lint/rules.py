@@ -23,8 +23,19 @@ RULES: dict[str, str] = {
     "R004": "public core/baselines functions must be fully annotated",
     "R005": "core array allocations must pin an explicit dtype",
     "R006": "no mutable default arguments",
+    "R007": "environment access outside repro.env",
     "R000": "file could not be parsed",
 }
+
+#: Environment-touching callables/objects funnelled through repro.env (R007).
+_ENV_ACCESSORS = frozenset(
+    {
+        "os.environ",
+        "os.getenv",
+        "os.putenv",
+        "os.unsetenv",
+    }
+)
 
 #: np.random constructors that are fine *when given a seed argument*.
 _SEEDABLE_CONSTRUCTORS = frozenset(
@@ -93,6 +104,8 @@ class PathContext:
     in_core: bool
     in_experiments: bool
     in_baselines: bool
+    in_package: bool
+    is_env_module: bool
 
     @staticmethod
     def classify(path: str) -> "PathContext":
@@ -109,6 +122,8 @@ class PathContext:
             in_core="/repro/core/" in normalized,
             in_experiments="/repro/experiments/" in normalized,
             in_baselines="/repro/baselines/" in normalized,
+            in_package="/repro/" in normalized,
+            is_env_module=normalized.endswith("/repro/env.py"),
         )
 
 
@@ -263,6 +278,42 @@ class _RuleVisitor(ast.NodeVisitor):
                 f"{dotted} without an explicit dtype= in core (array "
                 "contracts require pinned dtypes)",
             )
+
+    # -- R007: environment access outside repro.env -------------------
+
+    @property
+    def _env_rule_binds(self) -> bool:
+        return (
+            self.context.in_package
+            and not self.context.is_env_module
+            and not self.context.is_test
+        )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self._env_rule_binds and _dotted_name(node) in _ENV_ACCESSORS:
+            self._add(
+                node,
+                "R007",
+                f"environment access {_dotted_name(node)} outside repro.env "
+                "(read REPRO_* knobs through the repro.env helpers)",
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self._env_rule_binds and node.module == "os":
+            imported = {alias.name for alias in node.names}
+            leaked = sorted(
+                imported & {"environ", "getenv", "putenv", "unsetenv"}
+            )
+            if leaked:
+                self._add(
+                    node,
+                    "R007",
+                    f"importing {', '.join(leaked)} from os outside "
+                    "repro.env (read REPRO_* knobs through the repro.env "
+                    "helpers)",
+                )
+        self.generic_visit(node)
 
     # -- R002: float equality -----------------------------------------
     # Test files are exempt: the equivalence suite *asserts* exact float
