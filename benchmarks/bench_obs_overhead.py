@@ -1,0 +1,124 @@
+"""Observability-overhead guard: disabled tracing must stay under 2%.
+
+The observability layer (:mod:`repro.obs`) hooks the MrCC hot paths
+with :func:`repro.obs.span` and :func:`repro.obs.incr`; with no tracer
+installed each hook is one module-global load plus a ``None`` check.
+This module times ``MrCC.fit`` on the η=100k workload (scaled by
+``REPRO_SCALE`` like every other bench) three ways:
+
+* **disabled** — no tracer installed, the default production path;
+* **enabled** — a live tracer buffering counters and spans, the
+  documented enabled-mode cost (reported, not gated: a traced run is a
+  diagnostic run);
+* **per-hook** — the disabled ``incr`` micro-benchmarked alone, scaled
+  by the hook count of a traced fit (``Tracer.n_events``), which bounds
+  the disabled overhead independently of end-to-end timer noise.
+
+The gate asserts the end-to-end disabled-vs-enabled A/B difference and
+the per-hook estimate both stay under the 2% budget (with the same
+absolute noise floor the contracts guard uses).
+"""
+
+import numpy as np
+
+from repro import obs
+from repro.core.mrcc import MrCC
+
+from _harness import bench_scale, emit
+
+_ROUNDS = 3
+# Sub-second fits are dominated by timer and allocator noise; below this
+# floor the relative bound is meaningless, so a small absolute slack
+# applies on top of the 2% band.
+_ABSOLUTE_FLOOR_SECONDS = 0.05
+_MICRO_HOOK_CALLS = 200_000
+
+
+def _workload(eta: int, d: int = 12, n_clusters: int = 8, seed: int = 11):
+    rng = np.random.default_rng(seed)
+    per_cluster = int(eta * 0.85) // n_clusters
+    parts = [
+        rng.normal(rng.uniform(0.15, 0.85, size=d), 0.02, size=(per_cluster, d))
+        for _ in range(n_clusters)
+    ]
+    parts.append(rng.uniform(0, 1, size=(eta - n_clusters * per_cluster, d)))
+    return np.clip(np.vstack(parts), 0.0, np.nextafter(1.0, 0.0))
+
+
+def _best_fit_seconds(points) -> float:
+    best = float("inf")
+    for _ in range(_ROUNDS):
+        model = MrCC(normalize=False)
+        start = obs.perf_clock()
+        model.fit(points)
+        best = min(best, obs.perf_clock() - start)
+    return best
+
+
+def _disabled_hook_seconds(calls: int) -> float:
+    """Seconds per disabled ``incr`` call (best of ``_ROUNDS``)."""
+    assert not obs.enabled()
+    best = float("inf")
+    for _ in range(_ROUNDS):
+        start = obs.perf_clock()
+        for _ in range(calls):
+            obs.incr("micro.noop")
+        best = min(best, obs.perf_clock() - start)
+    return best / calls
+
+
+def measure_obs_overhead(eta: int) -> dict:
+    """A/B fit timings plus the per-hook disabled estimate, as a dict."""
+    points = _workload(eta)
+    assert not obs.enabled(), "tracing must be off for the disabled arm"
+    disabled_s = _best_fit_seconds(points)
+    with obs.capture() as tracer:
+        enabled_s = _best_fit_seconds(points)
+        n_events = tracer.n_events
+    per_hook_s = _disabled_hook_seconds(_MICRO_HOOK_CALLS)
+    # Hooks fired across all _ROUNDS enabled fits; one fit's share:
+    events_per_fit = max(1, n_events // _ROUNDS)
+    return {
+        "eta": eta,
+        "fit_disabled_seconds": disabled_s,
+        "fit_enabled_seconds": enabled_s,
+        "enabled_relative": (enabled_s - disabled_s) / disabled_s,
+        "hook_events_per_fit": events_per_fit,
+        "disabled_hook_ns": per_hook_s * 1e9,
+        "disabled_estimate_seconds": per_hook_s * events_per_fit,
+        "disabled_estimate_relative": per_hook_s * events_per_fit / disabled_s,
+    }
+
+
+def test_obs_overhead_below_two_percent():
+    eta = max(10_000, int(100_000 * bench_scale()))
+    row = measure_obs_overhead(eta)
+    emit(
+        "obs_overhead",
+        "\n".join(
+            [
+                f"eta={row['eta']}",
+                f"fit_disabled_s={row['fit_disabled_seconds']:.4f}",
+                f"fit_enabled_s={row['fit_enabled_seconds']:.4f}",
+                f"enabled_relative={row['enabled_relative']:+.4%}",
+                f"hook_events_per_fit={row['hook_events_per_fit']}",
+                f"disabled_hook_ns={row['disabled_hook_ns']:.1f}",
+                f"disabled_estimate_relative="
+                f"{row['disabled_estimate_relative']:+.6%}",
+            ]
+        ),
+    )
+    # The per-hook bound is noise-free: hooks-per-fit times the cost of
+    # a disabled hook must be far inside the 2% budget.
+    assert row["disabled_estimate_seconds"] <= 0.02 * row["fit_disabled_seconds"], (
+        f"disabled-path hook cost {row['disabled_estimate_relative']:+.4%} "
+        f"of fit exceeds the 2% budget"
+    )
+    # And the end-to-end A/B gap (enabled tracing!) stays inside the
+    # same band plus the noise floor — the buffers are that cheap at
+    # MrCC's per-stage/per-pivot hook granularity.
+    gap = row["fit_enabled_seconds"] - row["fit_disabled_seconds"]
+    assert gap <= 0.02 * row["fit_disabled_seconds"] + _ABSOLUTE_FLOOR_SECONDS, (
+        f"enabled-tracing overhead {row['enabled_relative']:+.2%} exceeds "
+        f"the 2% budget plus noise floor"
+    )

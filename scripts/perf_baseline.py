@@ -31,7 +31,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
 import numpy as np
@@ -53,6 +52,7 @@ from repro.core.counting_tree import (
 from repro.core.hypothesis_test import neighborhood_counts, significant_axes
 from repro.core.mdl import mdl_cut_threshold
 from repro.core.mrcc import MrCC
+from repro.obs import perf_clock
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 SCHEMA_VERSION = 1
@@ -79,10 +79,24 @@ def best_of(repeats: int, fn):
     best = float("inf")
     value = None
     for _ in range(repeats):
-        start = time.perf_counter()
+        start = perf_clock()
         value = fn()
-        best = min(best, time.perf_counter() - start)
+        best = min(best, perf_clock() - start)
     return best, value
+
+
+def bench_obs_overhead(eta: int) -> dict:
+    """Observability overhead on the fit workload (see the benchmark).
+
+    Reuses :func:`bench_obs_overhead.measure_obs_overhead` so the perf
+    trajectory and the pytest guard report the same numbers.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        from bench_obs_overhead import measure_obs_overhead
+    finally:
+        sys.path.pop(0)
+    return measure_obs_overhead(eta)
 
 
 def reference_find_beta_clusters(tree: CountingTree, alpha: float) -> list:
@@ -286,6 +300,17 @@ def main(argv: list[str] | None = None) -> int:
         f"  reference {row['reference_seconds']:.3f}s"
         f"  speedup {row['speedup']:.2f}x"
         f"  labels match: {row['labels_match_reference']}"
+    )
+
+    obs_eta = 10_000 if args.quick else 100_000
+    name = f"obs_overhead/eta{obs_eta}"
+    print(f"[{name}] ...", flush=True)
+    workloads[name] = row = bench_obs_overhead(obs_eta)
+    print(
+        f"  disabled {row['fit_disabled_seconds']:.3f}s"
+        f"  enabled {row['fit_enabled_seconds']:.3f}s"
+        f"  ({row['enabled_relative']:+.2%})"
+        f"  disabled-hook estimate {row['disabled_estimate_relative']:+.4%}"
     )
 
     payload = {

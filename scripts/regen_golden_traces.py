@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Regenerate the golden-trace fixtures under ``tests/fixtures/``.
+
+Each fixture pins the *deterministic* half of an ``MrCC.fit`` trace on
+a fixed-seed synthetic suite: the full counter map (cells per level,
+convolutions, hypothesis tests, MDL cuts, β-cluster accept/reject), the
+cluster count, and a SHA-256 over the label vector bytes.  Timings and
+RSS are machine-dependent and deliberately absent.
+
+``tests/test_golden_trace.py`` asserts exact equality against these
+files; rerun this script (and commit the diff) only when an intentional
+algorithm change shifts the work counts::
+
+    PYTHONPATH=src python scripts/regen_golden_traces.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro import MrCC, SyntheticDatasetSpec, generate_dataset, obs
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES_DIR = REPO_ROOT / "tests" / "fixtures"
+
+#: The two pinned suites; keep in sync with tests/test_golden_trace.py.
+GOLDEN_SUITES: dict[str, dict] = {
+    "golden_trace_d8": {
+        "spec": SyntheticDatasetSpec(
+            dimensionality=8, n_points=2000, n_clusters=3, seed=123
+        ),
+        "n_resolutions": 4,
+    },
+    "golden_trace_d12": {
+        "spec": SyntheticDatasetSpec(
+            dimensionality=12, n_points=3000, n_clusters=5, seed=77
+        ),
+        "n_resolutions": 5,
+    },
+}
+
+
+def golden_payload(name: str) -> dict:
+    """Deterministic trace snapshot for one pinned suite."""
+    suite = GOLDEN_SUITES[name]
+    spec = suite["spec"]
+    dataset = generate_dataset(spec)
+    with obs.capture() as tracer:
+        result = MrCC(n_resolutions=suite["n_resolutions"]).fit(dataset.points)
+        counters = dict(tracer.counters)
+    return {
+        "suite": {
+            "dimensionality": spec.dimensionality,
+            "n_points": spec.n_points,
+            "n_clusters": spec.n_clusters,
+            "seed": spec.seed,
+            "n_resolutions": suite["n_resolutions"],
+        },
+        "n_clusters_found": result.n_clusters,
+        "labels_sha256": hashlib.sha256(
+            result.labels.tobytes()
+        ).hexdigest(),
+        "counters": {k: counters[k] for k in sorted(counters)},
+    }
+
+
+def main() -> int:
+    FIXTURES_DIR.mkdir(parents=True, exist_ok=True)
+    for name in GOLDEN_SUITES:
+        payload = golden_payload(name)
+        path = FIXTURES_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(
+            f"wrote {path} ({len(payload['counters'])} counters, "
+            f"{payload['n_clusters_found']} clusters)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

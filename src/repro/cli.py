@@ -23,7 +23,9 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.data.suites import first_group
+from repro.env import trace_from_env
 from repro.experiments.real_data import run_real_data_table
 from repro.experiments.report import format_series, format_table
 from repro.experiments.sensibility import alpha_sweep, resolution_sweep
@@ -136,17 +138,33 @@ def build_parser() -> argparse.ArgumentParser:
         prog="mrcc-repro",
         description="Reproduce the MrCC paper's experiments (ICDE 2010).",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="JSON",
+        help="enable the observability layer and write the JSON trace "
+        "here on exit (equivalent to REPRO_TRACE=<path>)",
+    )
+    # Accept --trace on either side of the subcommand; SUPPRESS keeps
+    # the subparser from clobbering a value parsed at the top level.
+    trace_opt = argparse.ArgumentParser(add_help=False)
+    trace_opt.add_argument(
+        "--trace", default=argparse.SUPPRESS, metavar="JSON",
+        help=argparse.SUPPRESS,
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list reproducible exhibits").set_defaults(
-        func=_cmd_list
-    )
+    sub.add_parser(
+        "list", help="list reproducible exhibits", parents=[trace_opt]
+    ).set_defaults(func=_cmd_list)
 
-    fig4 = sub.add_parser("fig4", help="MrCC sensibility sweeps")
+    fig4 = sub.add_parser(
+        "fig4", help="MrCC sensibility sweeps", parents=[trace_opt]
+    )
     fig4.add_argument("--scale", type=float, default=0.05)
     fig4.set_defaults(func=_cmd_fig4)
 
-    fig5 = sub.add_parser("fig5", help="one Figure 5 exhibit")
+    fig5 = sub.add_parser(
+        "fig5", help="one Figure 5 exhibit", parents=[trace_opt]
+    )
     fig5.add_argument(
         "row", choices=sorted(FIGURE_ROWS) + ["fig5s", "fig5t"]
     )
@@ -158,12 +176,15 @@ def build_parser() -> argparse.ArgumentParser:
     fig5.set_defaults(func=_cmd_fig5)
 
     summary = sub.add_parser(
-        "summary", help="aggregate saved rows into Section IV-F averages"
+        "summary", help="aggregate saved rows into Section IV-F averages",
+        parents=[trace_opt],
     )
     summary.add_argument("rows", nargs="+", metavar="JSON")
     summary.set_defaults(func=_cmd_summary)
 
-    demo = sub.add_parser("demo", help="small end-to-end demo")
+    demo = sub.add_parser(
+        "demo", help="small end-to-end demo", parents=[trace_opt]
+    )
     demo.set_defaults(func=_cmd_demo)
     return parser
 
@@ -171,7 +192,20 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    # --trace takes precedence over REPRO_TRACE for the export target;
+    # REPRO_TRACE alone already enabled tracing at import.
+    target = args.trace if args.trace is not None else trace_from_env()
+    if args.trace is not None and not obs.enabled():
+        obs.set_enabled(True)
+    status = int(args.func(args))
+    if obs.enabled() and target:
+        payload = obs.export_trace(target, meta={"command": args.command})
+        print(
+            f"trace written to {target} "
+            f"({len(payload['counters'])} counters, "
+            f"{len(payload['spans'])} spans)"
+        )
+    return status
 
 
 if __name__ == "__main__":

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.contracts import check_probability
 from repro.core.convolution import level_responses, overlap_rows
 from repro.core.counting_tree import CountingTree
@@ -146,6 +147,7 @@ class _SearchState:
             if h >= 2:
                 level = self.tree.level(h)
                 rows = overlap_rows(level, beta.lower, beta.upper)
+                obs.incr("search.excluded_cells", int(rows.size))
                 self.excluded(h)[rows] = True
 
 
@@ -226,19 +228,21 @@ def find_beta_clusters(
     if not search_levels:
         return found
 
-    while True:
-        new_cluster = _search_pass(state, alpha)
-        if new_cluster is None:
-            return found
-        found.append(new_cluster)
-        state.exclude_box(new_cluster)
-        if max_beta_clusters is not None and len(found) >= max_beta_clusters:
-            return found
+    with obs.span("search"):
+        while True:
+            new_cluster = _search_pass(state, alpha)
+            if new_cluster is None:
+                return found
+            found.append(new_cluster)
+            state.exclude_box(new_cluster)
+            if max_beta_clusters is not None and len(found) >= max_beta_clusters:
+                return found
 
 
 def _search_pass(state: _SearchState, alpha: float) -> BetaCluster | None:
     """One inner pass of Algorithm 2 (lines 3-18): scan levels 2..H-1."""
     tree = state.tree
+    obs.incr("search.passes")
     for h in tree.levels:
         if h < 2:
             continue
@@ -247,9 +251,13 @@ def _search_pass(state: _SearchState, alpha: float) -> BetaCluster | None:
         if row < 0:
             continue
         level.used[row] = True
+        obs.incr("search.pivots")
+        obs.incr(f"search.level{h}.cells_visited")
         counts = neighborhood_counts(tree, h, row)
         if not np.any(significant_axes(counts, alpha)):
+            obs.incr("search.beta_rejected")
             continue
+        obs.incr("search.beta_accepted")
         relevances = counts.relevances()
         threshold = mdl_cut_threshold(relevances)
         relevant = relevances >= threshold

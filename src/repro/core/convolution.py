@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.core.contracts import check_array
 from repro.core.counting_tree import CountingTree, Level
 from repro.types import BoolArray, FloatArray, IntArray
@@ -34,6 +35,10 @@ def level_responses(level: Level) -> IntArray:
     grid border) contribute zero, like zero-padding a convolution.
     """
     m, d = level.coords.shape
+    obs.incr("convolution.responses")
+    obs.incr("convolution.cells", m)
+    obs.incr(f"convolution.level{level.h}.responses")
+    obs.incr(f"search.level{level.h}.cells_visited", m)
     responses = (2 * d) * level.n.astype(np.int64)
     if m <= 1:
         # A single cell has no materialised neighbours to subtract.

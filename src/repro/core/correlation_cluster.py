@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.core.beta_cluster import BetaCluster
 from repro.core.contracts import check_array, check_labels
 from repro.types import (
@@ -112,8 +113,14 @@ def build_correlation_clusters(
             clusters=[],
             extras={"n_beta_clusters": 0, "beta_clusters": []},
         )
-    groups = merge_beta_clusters(betas)
-    labels = check_labels("labels", label_points(points, betas, groups))
+    with obs.span("assemble"):
+        obs.incr("assemble.beta_clusters", len(betas))
+        groups = merge_beta_clusters(betas)
+        obs.incr("assemble.clusters", len(groups))
+        labels = check_labels("labels", label_points(points, betas, groups))
+        if obs.enabled():
+            # O(n) scan, so only under an active tracer.
+            obs.incr("assemble.noise_points", int(np.sum(labels == NOISE_LABEL)))
     clusters: list[SubspaceCluster] = []
     for cluster_id, members in enumerate(groups):
         axes: set[int] = set()

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.contracts import ContractError, check_array
 from repro.types import AnyArray, BoolArray, FloatArray, IntArray
 
@@ -220,8 +221,9 @@ class CountingTree:
         self._n_points, self._d = points.shape
         self._H = int(n_resolutions)
 
-        base = bin_points(points, self._H)
-        self._levels = aggregate_levels(base, self._H)
+        with obs.span("tree.build"):
+            base = bin_points(points, self._H)
+            self._levels = aggregate_levels(base, self._H)
 
     @property
     def n_resolutions(self) -> int:
@@ -320,6 +322,7 @@ def aggregate_levels(base: IntArray, n_resolutions: int) -> dict[int, Level]:
             _sorted_keys=keys,
             _sort_order=np.arange(cells.shape[0], dtype=np.int64),
         )
+        obs.incr(f"tree.level{h}.cells", int(cells.shape[0]))
         fine_coords, fine_counts = cells, counts
     return {h: levels[h] for h in range(1, n_resolutions)}
 

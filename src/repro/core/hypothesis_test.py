@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats
 
+from repro import obs
 from repro.core.counting_tree import CountingTree
 from repro.types import BoolArray, FloatArray, IntArray
 
@@ -133,5 +134,7 @@ def significant_axes(
     counts: NeighborhoodCounts, alpha: float
 ) -> BoolArray:
     """Boolean mask of axes where ``cP_j`` beats the critical value."""
+    obs.incr("search.tests")
+    obs.incr("search.tests.axes", int(counts.center.shape[0]))
     theta = critical_values(counts.total, alpha, probability=counts.probability)
     return counts.center > theta

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.core.contracts import check_array
 from repro.types import FloatArray
 
@@ -71,6 +72,7 @@ def mdl_cut_threshold(relevances: FloatArray) -> float:
     """
     relevances = np.asarray(relevances, dtype=np.float64)
     check_array("relevances", relevances, dtype=np.float64, ndim=1, finite=True)
+    obs.incr("search.mdl_cuts")
     ordered = np.sort(relevances)
     p = mdl_cut_position(ordered)
     return float(ordered[p - 1])

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.core.beta_cluster import BetaCluster, find_beta_clusters
 from repro.core.contracts import check_array, check_labels
 from repro.core.correlation_cluster import build_correlation_clusters
@@ -98,14 +99,18 @@ class MrCC:
         """
         points = np.asarray(points, dtype=np.float64)
         check_array("points", points, dtype=np.float64, ndim=2, finite=True)
-        if self.normalize:
-            points = minmax_normalize(points)
+        with obs.span("fit"):
+            obs.incr("fit.runs")
+            obs.incr("fit.points", int(points.shape[0]))
+            if self.normalize:
+                with obs.span("fit.normalize"):
+                    points = minmax_normalize(points)
 
-        self.tree_ = CountingTree(points, n_resolutions=self.n_resolutions)
-        self.beta_clusters_ = find_beta_clusters(
-            self.tree_, self.alpha, max_beta_clusters=self.max_beta_clusters
-        )
-        result = build_correlation_clusters(points, self.beta_clusters_)
+            self.tree_ = CountingTree(points, n_resolutions=self.n_resolutions)
+            self.beta_clusters_ = find_beta_clusters(
+                self.tree_, self.alpha, max_beta_clusters=self.max_beta_clusters
+            )
+            result = build_correlation_clusters(points, self.beta_clusters_)
         result.extras["alpha"] = self.alpha
         result.extras["n_resolutions"] = self.n_resolutions
 

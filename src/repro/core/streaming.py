@@ -19,6 +19,7 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from repro import obs
 from repro.core.contracts import ContractError, check_array
 from repro.core.counting_tree import (
     MAX_RESOLUTIONS,
@@ -54,31 +55,34 @@ def build_tree_from_chunks(
     d: int | None = None
     n_points = 0
 
-    for chunk_index, chunk in enumerate(chunks):
-        chunk = np.asarray(chunk, dtype=np.float64)
-        check_array(
-            f"chunks[{chunk_index}]",
-            chunk,
-            dtype=np.float64,
-            ndim=2,
-            unit_box=True,
-        )
-        if chunk.shape[0] == 0:
-            continue
-        if d is None:
-            d = chunk.shape[1]
-        elif chunk.shape[1] != d:
-            raise ValueError("all chunks must share the same dimensionality")
-        n_points += chunk.shape[0]
-        _accumulate_chunk(chunk, n_resolutions, accumulators)
+    with obs.span("stream.build"):
+        for chunk_index, chunk in enumerate(chunks):
+            chunk = np.asarray(chunk, dtype=np.float64)
+            check_array(
+                f"chunks[{chunk_index}]",
+                chunk,
+                dtype=np.float64,
+                ndim=2,
+                unit_box=True,
+            )
+            if chunk.shape[0] == 0:
+                continue
+            if d is None:
+                d = chunk.shape[1]
+            elif chunk.shape[1] != d:
+                raise ValueError("all chunks must share the same dimensionality")
+            n_points += chunk.shape[0]
+            obs.incr("stream.chunks")
+            obs.incr("stream.points", int(chunk.shape[0]))
+            _accumulate_chunk(chunk, n_resolutions, accumulators)
 
-    if d is None or n_points == 0:
-        raise ValueError("the stream delivered no points")
+        if d is None or n_points == 0:
+            raise ValueError("the stream delivered no points")
 
-    levels = {
-        h: _finalize_level(h, accumulators[h], d)
-        for h in range(1, n_resolutions)
-    }
+        levels = {
+            h: _finalize_level(h, accumulators[h], d)
+            for h in range(1, n_resolutions)
+        }
     return tree_from_levels(levels, d, n_points, n_resolutions)
 
 
@@ -114,6 +118,7 @@ def _finalize_level(
 ) -> Level:
     """Convert an accumulator table into a packed Level."""
     m = len(table)
+    obs.incr(f"tree.level{h}.cells", m)
     coords = np.empty((m, d), dtype=np.int64)
     counts = np.empty(m, dtype=np.int64)
     halves = np.empty((m, d), dtype=np.int64)

@@ -1,10 +1,11 @@
 """Single home for the reproduction's environment knobs.
 
-Three environment variables steer the package without changing any
+Four environment variables steer the package without changing any
 result row: ``REPRO_JOBS`` (worker count for the experiment fan-out),
-``REPRO_PROFILE`` (``quick``/``full`` tuning grids) and
-``REPRO_CONTRACTS`` (toggle for the O(n) data-scan half of the runtime
-contracts).  Every read goes through this module so that bad values
+``REPRO_PROFILE`` (``quick``/``full`` tuning grids), ``REPRO_CONTRACTS``
+(toggle for the O(n) data-scan half of the runtime contracts) and
+``REPRO_TRACE`` (the observability layer: off, on, or on plus a JSON
+export path).  Every read goes through this module so that bad values
 produce one friendly, named error instead of a raw ``int()`` traceback,
 and so the static layer can enforce the funnel: ``repro_lint`` rule
 R007 flags ``os.environ`` access anywhere else in the package, and the
@@ -20,6 +21,7 @@ __all__ = [
     "contracts_from_env",
     "jobs_from_env",
     "profile_from_env",
+    "trace_from_env",
 ]
 
 _TRUE_VALUES = frozenset({"1", "true", "on", "yes"})
@@ -78,3 +80,26 @@ def contracts_from_env(default: bool = True) -> bool:
         f"REPRO_CONTRACTS must be one of 1/0, true/false, on/off, yes/no; "
         f"got {raw!r}"
     )
+
+
+def trace_from_env(default: str | None = None) -> str | None:
+    """Observability toggle/export target (``REPRO_TRACE``).
+
+    Three shapes, mirroring the knob's documentation:
+
+    * unset, blank or a false value (``0/false/off/no``) — tracing off,
+      returns ``default`` (``None``);
+    * a true value (``1/true/on/yes``) — tracing on with no automatic
+      export; returns ``""``;
+    * anything else is an export path — tracing on, and the CLI writes
+      the JSON trace there on exit; returns the path unchanged.
+    """
+    raw = os.environ.get("REPRO_TRACE", "").strip()
+    if not raw:
+        return default
+    lowered = raw.lower()
+    if lowered in _FALSE_VALUES:
+        return None
+    if lowered in _TRUE_VALUES:
+        return ""
+    return raw

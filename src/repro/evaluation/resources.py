@@ -1,9 +1,10 @@
 """Wall-clock and peak-memory measurement (the paper's seconds/KB axes).
 
 The paper reports, per method and dataset, the run time in seconds and
-the memory consumption in KB.  :func:`measure` wraps a callable with a
-``time.perf_counter`` clock and a ``tracemalloc`` peak-allocation probe
-so every experiment driver reports the same two series.
+the memory consumption in KB.  :func:`measure` wraps a callable with
+the observability layer's :func:`repro.obs.perf_clock` and a
+``tracemalloc`` peak-allocation probe so every experiment driver
+reports the same two series.
 
 ``tracemalloc`` tracks Python-level allocations (including numpy buffer
 allocations routed through the CPython allocator), which is the right
@@ -14,10 +15,11 @@ absolute KB differ from the authors' C/Java binaries.
 
 from __future__ import annotations
 
-import time
 import tracemalloc
 from dataclasses import dataclass
 from typing import Any, Callable
+
+from repro.obs import perf_clock
 
 
 @dataclass(frozen=True)
@@ -41,18 +43,18 @@ def measure(fn: Callable[[], Any], track_memory: bool = True) -> Measurement:
     benchmarks disable it and measure memory in a separate pass).
     """
     if not track_memory:
-        start = time.perf_counter()
+        start = perf_clock()
         value = fn()
-        return Measurement(value=value, seconds=time.perf_counter() - start, peak_kb=0.0)
+        return Measurement(value=value, seconds=perf_clock() - start, peak_kb=0.0)
 
     was_tracing = tracemalloc.is_tracing()
     if not was_tracing:
         tracemalloc.start()
     tracemalloc.reset_peak()
-    start = time.perf_counter()
+    start = perf_clock()
     try:
         value = fn()
-        seconds = time.perf_counter() - start
+        seconds = perf_clock() - start
         _, peak = tracemalloc.get_traced_memory()
     finally:
         if not was_tracing:

@@ -21,6 +21,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from repro import obs
 from repro.env import jobs_from_env
 from repro.evaluation.quality import evaluate_clustering
 from repro.evaluation.resources import measure
@@ -128,9 +129,21 @@ def _configuration_task(
     rebuild the registry and look the spec up by name.  Seeded repeats
     run inside the task, keeping the per-configuration seed sequence of
     the serial sweep.
+
+    Tracing: a worker process inherits its tracer from ``REPRO_TRACE``
+    at import (or the forked parent state) and must not install one
+    here — the purity pass forbids module-state writes in this closure.
+    The task only *reads* the tracer: counters and spans produced by
+    this cell travel back as a ``"_trace"`` delta that the parent folds
+    in and strips before reduction, so result rows match a serial run.
     """
     spec = method_registry()[method_name]
-    return _run_configuration(spec, dataset, params, n_repeats, track_memory=False)
+    base = obs.mark()
+    row = _run_configuration(spec, dataset, params, n_repeats, track_memory=False)
+    delta = obs.since(base)
+    if delta is not None:
+        row["_trace"] = delta
+    return row
 
 
 def run_suite(
@@ -152,20 +165,21 @@ def run_suite(
         raise ValueError(f"unknown methods: {unknown}")
     n_jobs = jobs_from_env() if n_jobs is None else int(n_jobs)
     datasets = list(datasets)
-    if n_jobs <= 1:
-        rows = []
-        for dataset in datasets:
-            for name in methods:
-                rows.append(
-                    run_method_on_dataset(
-                        registry[name], dataset, profile=profile,
-                        track_memory=track_memory,
+    with obs.span("suite.run"):
+        if n_jobs <= 1:
+            rows = []
+            for dataset in datasets:
+                for name in methods:
+                    rows.append(
+                        run_method_on_dataset(
+                            registry[name], dataset, profile=profile,
+                            track_memory=track_memory,
+                        )
                     )
-                )
-        return rows
-    return _run_suite_parallel(
-        datasets, methods, registry, profile, track_memory, n_jobs
-    )
+            return rows
+        return _run_suite_parallel(
+            datasets, methods, registry, profile, track_memory, n_jobs
+        )
 
 
 def _run_suite_parallel(
@@ -202,6 +216,12 @@ def _run_suite_parallel(
             for dataset_index, name, params in tasks
         ]
         results = [future.result() for future in futures]
+
+    # Fold worker trace deltas back in (serial sweep order, so the
+    # merged span sequence is deterministic) and strip the side channel
+    # before reduction so rows compare equal to a serial run.
+    for row in results:
+        obs.absorb(row.pop("_trace", None))
 
     best: dict[tuple[int, str], dict] = {}
     for (dataset_index, name, _), row in zip(tasks, results):

@@ -1,0 +1,54 @@
+"""Observability for the MrCC reproduction: spans, counters, traces.
+
+Instrumentation sites import this package and call :func:`span` /
+:func:`incr`; both are near-zero-cost no-ops unless a tracer is active
+(``REPRO_TRACE=1``, ``--trace``, or :func:`capture` in tests).  See
+``repro.obs.trace`` for the buffer/merge machinery and
+``repro.obs.schema`` for the stable JSON export shape.
+"""
+
+from __future__ import annotations
+
+from repro.obs.schema import TRACE_SCHEMA_VERSION, TraceSchemaError, validate_trace
+from repro.obs.trace import (
+    SpanRecord,
+    TraceMark,
+    Tracer,
+    absorb,
+    active,
+    capture,
+    counters_snapshot,
+    enabled,
+    export_trace,
+    incr,
+    mark,
+    peak_rss_kb,
+    perf_clock,
+    set_enabled,
+    since,
+    snapshot,
+    span,
+)
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "SpanRecord",
+    "TraceMark",
+    "TraceSchemaError",
+    "Tracer",
+    "absorb",
+    "active",
+    "capture",
+    "counters_snapshot",
+    "enabled",
+    "export_trace",
+    "incr",
+    "mark",
+    "peak_rss_kb",
+    "perf_clock",
+    "set_enabled",
+    "since",
+    "snapshot",
+    "span",
+    "validate_trace",
+]

@@ -1,0 +1,140 @@
+"""The stable JSON trace schema and its validator.
+
+A trace is one JSON object with exactly five keys:
+
+``schema``
+    Integer schema version (:data:`TRACE_SCHEMA_VERSION`).  Bumped only
+    when a field changes meaning; adding counters or span names is not
+    a schema change.
+``generated_by``
+    The producing subsystem, always ``"repro.obs"``.
+``meta``
+    Free-form string-keyed context (command line, dataset parameters);
+    values are JSON scalars.
+``counters``
+    Flat map of counter name to a non-negative integer.  Counter names
+    are dot-separated (``search.pivots``, ``tree.level2.cells``) and
+    monotonic within a trace — they only ever count work done.
+``spans``
+    Begin-ordered list of span records.  Each record has ``name``,
+    ``parent`` (index of the enclosing span in this list, ``-1`` for a
+    root), ``depth`` (``0`` for roots, parent depth + 1 otherwise),
+    ``start_s`` (seconds since the owning tracer's epoch), ``seconds``
+    (wall-clock duration) and ``peak_rss_kb`` (peak resident set at
+    span exit; ``0.0`` where the platform lacks ``getrusage``).  Spans
+    merged from ``REPRO_JOBS`` worker processes keep their *worker*
+    relative ``start_s`` — only their tree position is re-based.
+
+The golden-trace regression tests snapshot the ``counters`` map (the
+deterministic part); timings and RSS are machine-dependent by nature
+and never asserted.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "TraceSchemaError",
+    "validate_trace",
+]
+
+TRACE_SCHEMA_VERSION = 1
+
+_TOP_LEVEL_KEYS = frozenset(
+    {"schema", "generated_by", "meta", "counters", "spans"}
+)
+_SPAN_KEYS = frozenset(
+    {"name", "parent", "depth", "start_s", "seconds", "peak_rss_kb"}
+)
+
+
+class TraceSchemaError(ValueError):
+    """A trace payload broke the stable schema."""
+
+
+def _fail(message: str) -> None:
+    raise TraceSchemaError(message)
+
+
+def validate_trace(payload: Any) -> dict[str, Any]:
+    """Validate one trace payload; returns it for call-site chaining.
+
+    Raises :class:`TraceSchemaError` naming the first offending field.
+    """
+    if not isinstance(payload, dict):
+        _fail(f"trace must be a JSON object, got {type(payload).__name__}")
+    keys = set(payload)
+    if keys != _TOP_LEVEL_KEYS:
+        missing = sorted(_TOP_LEVEL_KEYS - keys)
+        extra = sorted(keys - _TOP_LEVEL_KEYS)
+        _fail(f"trace keys mismatch: missing {missing}, unexpected {extra}")
+    if payload["schema"] != TRACE_SCHEMA_VERSION:
+        _fail(
+            f"trace schema must be {TRACE_SCHEMA_VERSION}, "
+            f"got {payload['schema']!r}"
+        )
+    if payload["generated_by"] != "repro.obs":
+        _fail(f"generated_by must be 'repro.obs', got {payload['generated_by']!r}")
+    _validate_meta(payload["meta"])
+    _validate_counters(payload["counters"])
+    _validate_spans(payload["spans"])
+    return payload
+
+
+def _validate_meta(meta: Any) -> None:
+    if not isinstance(meta, dict):
+        _fail("meta must be an object")
+    for key, value in meta.items():
+        if not isinstance(key, str) or not key:
+            _fail(f"meta keys must be non-empty strings, got {key!r}")
+        if not isinstance(value, (str, int, float, bool)) and value is not None:
+            _fail(f"meta[{key!r}] must be a JSON scalar, got {type(value).__name__}")
+
+
+def _validate_counters(counters: Any) -> None:
+    if not isinstance(counters, dict):
+        _fail("counters must be an object")
+    for name, value in counters.items():
+        if not isinstance(name, str) or not name:
+            _fail(f"counter names must be non-empty strings, got {name!r}")
+        if not isinstance(value, int) or isinstance(value, bool):
+            _fail(f"counter {name!r} must be an integer, got {value!r}")
+        if value < 0:
+            _fail(f"counter {name!r} must be non-negative, got {value}")
+
+
+def _validate_spans(spans: Any) -> None:
+    if not isinstance(spans, list):
+        _fail("spans must be a list")
+    for index, span in enumerate(spans):
+        if not isinstance(span, dict):
+            _fail(f"spans[{index}] must be an object")
+        if set(span) != _SPAN_KEYS:
+            _fail(
+                f"spans[{index}] keys mismatch: expected "
+                f"{sorted(_SPAN_KEYS)}, got {sorted(span)}"
+            )
+        if not isinstance(span["name"], str) or not span["name"]:
+            _fail(f"spans[{index}].name must be a non-empty string")
+        parent = span["parent"]
+        if not isinstance(parent, int) or isinstance(parent, bool):
+            _fail(f"spans[{index}].parent must be an integer")
+        if parent < -1 or parent >= index:
+            _fail(
+                f"spans[{index}].parent must point at an earlier span "
+                f"(or -1), got {parent}"
+            )
+        expected_depth = 0 if parent == -1 else spans[parent]["depth"] + 1
+        if span["depth"] != expected_depth:
+            _fail(
+                f"spans[{index}].depth must be {expected_depth} "
+                f"(parent {parent}), got {span['depth']}"
+            )
+        for field in ("start_s", "seconds", "peak_rss_kb"):
+            value = span[field]
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                _fail(f"spans[{index}].{field} must be a number")
+            if value < 0:
+                _fail(f"spans[{index}].{field} must be non-negative, got {value}")

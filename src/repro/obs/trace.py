@@ -1,0 +1,402 @@
+"""Hierarchical spans, algorithm counters, and the trace buffer.
+
+One process holds at most one active :class:`Tracer` (the module global
+``_TRACER``); the instrumentation hooks — :func:`span` and :func:`incr`
+— read that global once and return immediately when it is ``None``, so
+the disabled path costs one attribute load and one comparison.  This is
+the same pattern ``repro.core.contracts`` uses for its data scans, and
+the overhead benchmark (``benchmarks/bench_obs_overhead.py``) holds the
+disabled cost of a full ``MrCC.fit`` under 2%.
+
+Determinism split: **counters** record algorithm work (cells created,
+convolutions applied, hypothesis tests run) and are bit-reproducible —
+the golden-trace tests assert exact equality.  **Spans** record wall
+time (``time.perf_counter``) and peak RSS (``resource.getrusage``) and
+are machine-dependent by nature; they are exported for attribution,
+never asserted.
+
+Worker processes under ``REPRO_JOBS`` never *install* a tracer from
+inside the worker closure (the ``repro_analyze`` purity pass forbids
+module-state writes there); they inherit one at import time from
+``REPRO_TRACE`` and report deltas via :func:`mark`/:func:`since`, which
+only read.  The parent folds those deltas back in with :func:`absorb`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from types import TracebackType
+from typing import Any, Iterator, Mapping
+
+from repro.env import trace_from_env
+from repro.obs.schema import TRACE_SCHEMA_VERSION, validate_trace
+
+try:  # pragma: no cover - resource is POSIX-only
+    from resource import RUSAGE_SELF as _RUSAGE_SELF
+    from resource import getrusage as _getrusage
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _getrusage = None  # type: ignore[assignment]
+    _RUSAGE_SELF = 0
+
+__all__ = [
+    "SpanRecord",
+    "TraceMark",
+    "Tracer",
+    "absorb",
+    "active",
+    "capture",
+    "counters_snapshot",
+    "enabled",
+    "export_trace",
+    "incr",
+    "mark",
+    "peak_rss_kb",
+    "perf_clock",
+    "set_enabled",
+    "since",
+    "snapshot",
+    "span",
+]
+
+
+def perf_clock() -> float:
+    """Monotonic wall clock for durations (the repo's one timing source).
+
+    Every duration measured outside ``benchmarks/`` funnels through
+    here (enforced by ``repro_lint`` rule R008), so timing policy has a
+    single home.
+    """
+    return time.perf_counter()
+
+
+def peak_rss_kb() -> float:
+    """Peak resident-set size of this process in KB (0.0 if unknown)."""
+    if _getrusage is None:  # pragma: no cover - non-POSIX platforms
+        return 0.0
+    peak = float(_getrusage(_RUSAGE_SELF).ru_maxrss)
+    # Linux reports ru_maxrss in KB, macOS in bytes.
+    return peak / 1024.0 if sys.platform == "darwin" else peak
+
+
+@dataclass
+class SpanRecord:
+    """One span: a named region of the run with timing and peak RSS."""
+
+    name: str
+    parent: int
+    depth: int
+    start_s: float
+    seconds: float = 0.0
+    peak_rss_kb: float = 0.0
+    closed: bool = False
+
+    def to_payload(self, now_s: float) -> dict[str, Any]:
+        """Export shape (open spans report their elapsed time so far)."""
+        seconds = self.seconds if self.closed else max(0.0, now_s - self.start_s)
+        return {
+            "name": self.name,
+            "parent": self.parent,
+            "depth": self.depth,
+            "start_s": self.start_s,
+            "seconds": seconds,
+            "peak_rss_kb": self.peak_rss_kb,
+        }
+
+
+@dataclass(frozen=True)
+class TraceMark:
+    """A position in a tracer's buffers, for delta extraction."""
+
+    counters: dict[str, int]
+    n_spans: int
+
+
+class Tracer:
+    """The per-process trace buffer: counters plus a span tree."""
+
+    def __init__(self) -> None:
+        self.epoch = perf_clock()
+        self.counters: dict[str, int] = {}
+        self.spans: list[SpanRecord] = []
+        self.n_events = 0
+        self._stack: list[int] = []
+
+    def incr(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the named monotonic counter."""
+        self.n_events += 1
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def begin(self, name: str) -> int:
+        """Open a span nested under the currently open one."""
+        self.n_events += 1
+        parent = self._stack[-1] if self._stack else -1
+        depth = 0 if parent < 0 else self.spans[parent].depth + 1
+        index = len(self.spans)
+        self.spans.append(
+            SpanRecord(
+                name=name,
+                parent=parent,
+                depth=depth,
+                start_s=perf_clock() - self.epoch,
+            )
+        )
+        self._stack.append(index)
+        return index
+
+    def end(self, index: int) -> None:
+        """Close a span, recording duration and peak RSS at exit."""
+        record = self.spans[index]
+        record.seconds = perf_clock() - self.epoch - record.start_s
+        record.peak_rss_kb = peak_rss_kb()
+        record.closed = True
+        while self._stack and self._stack[-1] >= index:
+            self._stack.pop()
+
+    def mark(self) -> TraceMark:
+        """Snapshot the buffer position for a later :meth:`since`."""
+        return TraceMark(counters=dict(self.counters), n_spans=len(self.spans))
+
+    def since(self, base: TraceMark) -> dict[str, Any]:
+        """Delta since ``base`` as a picklable plain-dict payload.
+
+        Counters are the positive differences; spans are the records
+        opened after the mark, re-based so indices are slice-relative
+        (parents outside the slice become ``-1`` and depths are shifted
+        to make those spans roots).
+        """
+        counters: dict[str, int] = {}
+        for name, value in self.counters.items():
+            delta = value - base.counters.get(name, 0)
+            if delta:
+                counters[name] = delta
+        now_s = perf_clock() - self.epoch
+        spans: list[dict[str, Any]] = []
+        offset = base.n_spans
+        for index in range(offset, len(self.spans)):
+            record = self.spans[index]
+            payload = record.to_payload(now_s)
+            if record.parent >= offset:
+                payload["parent"] = record.parent - offset
+                payload["depth"] = record.depth - self.spans[offset].depth
+            else:
+                payload["parent"] = -1
+                payload["depth"] = 0
+            spans.append(payload)
+        _rebase_depths(spans)
+        return {"counters": counters, "spans": spans}
+
+    def absorb(self, delta: Mapping[str, Any]) -> None:
+        """Fold a :meth:`since` delta (e.g. from a worker) into this tracer.
+
+        Counters add; spans are appended under the currently open span.
+        Worker span clocks are process-relative and kept as recorded.
+        """
+        for name, value in delta.get("counters", {}).items():
+            self.incr(name, int(value))
+        spans = delta.get("spans", [])
+        if not spans:
+            return
+        attach = self._stack[-1] if self._stack else -1
+        attach_depth = 0 if attach < 0 else self.spans[attach].depth + 1
+        offset = len(self.spans)
+        for payload in spans:
+            parent = int(payload["parent"])
+            if parent < 0:
+                new_parent = attach
+                depth = attach_depth
+            else:
+                new_parent = parent + offset
+                depth = self.spans[new_parent].depth + 1
+            self.spans.append(
+                SpanRecord(
+                    name=str(payload["name"]),
+                    parent=new_parent,
+                    depth=depth,
+                    start_s=float(payload["start_s"]),
+                    seconds=float(payload["seconds"]),
+                    peak_rss_kb=float(payload["peak_rss_kb"]),
+                    closed=True,
+                )
+            )
+
+    def snapshot(self, meta: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        """The full schema-shaped trace payload (validated on export)."""
+        now_s = perf_clock() - self.epoch
+        return {
+            "schema": TRACE_SCHEMA_VERSION,
+            "generated_by": "repro.obs",
+            "meta": dict(meta or {}),
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "spans": [record.to_payload(now_s) for record in self.spans],
+        }
+
+
+def _rebase_depths(spans: list[dict[str, Any]]) -> None:
+    """Recompute delta-slice depths from the re-based parent links."""
+    for index, payload in enumerate(spans):
+        parent = payload["parent"]
+        payload["depth"] = 0 if parent < 0 else spans[parent]["depth"] + 1
+    del index
+
+
+class _NullSpan:
+    """Shared no-op context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        return False
+
+
+class _Span:
+    """Context manager binding one span to one tracer."""
+
+    __slots__ = ("_tracer", "_name", "_index")
+
+    def __init__(self, tracer: Tracer, name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._index = -1
+
+    def __enter__(self) -> "_Span":
+        self._index = self._tracer.begin(self._name)
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        self._tracer.end(self._index)
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+#: The process-wide tracer; ``None`` means tracing is off.  Installed at
+#: import time from ``REPRO_TRACE`` so ``REPRO_JOBS`` worker processes
+#: come up traced without any module-state write inside the worker
+#: closure (which the repro_analyze purity pass forbids).
+_TRACER: Tracer | None = Tracer() if trace_from_env() is not None else None
+
+
+def enabled() -> bool:
+    """Whether a tracer is active in this process."""
+    return _TRACER is not None
+
+
+def active() -> Tracer | None:
+    """The active tracer, or ``None`` when tracing is off."""
+    return _TRACER
+
+
+def set_enabled(flag: bool) -> bool:
+    """Install a fresh tracer (or clear it); returns the previous state.
+
+    Turning tracing on replaces any previous tracer with an empty one;
+    turning it off drops the buffer.  Never call this from code that can
+    run inside a ``REPRO_JOBS`` worker — workers inherit their tracer
+    from the environment instead.
+    """
+    global _TRACER
+    previous = _TRACER is not None
+    _TRACER = Tracer() if flag else None
+    return previous
+
+
+@contextmanager
+def capture() -> Iterator[Tracer]:
+    """Context manager running its body under a fresh tracer.
+
+    Restores the previous tracer (or disabled state) on exit; yields
+    the fresh tracer so callers can read counters and snapshots.
+    """
+    global _TRACER
+    previous = _TRACER
+    tracer = Tracer()
+    _TRACER = tracer
+    try:
+        yield tracer
+    finally:
+        _TRACER = previous
+
+
+def span(name: str) -> _Span | _NullSpan:
+    """Open a named span under the active tracer (no-op when disabled)."""
+    tracer = _TRACER
+    if tracer is None:
+        return _NULL_SPAN
+    return _Span(tracer, name)
+
+
+def incr(name: str, n: int = 1) -> None:
+    """Add ``n`` to a named counter (no-op when disabled)."""
+    tracer = _TRACER
+    if tracer is not None:
+        tracer.incr(name, n)
+
+
+def counters_snapshot() -> dict[str, int]:
+    """Copy of the active counters ({} when disabled)."""
+    tracer = _TRACER
+    return dict(tracer.counters) if tracer is not None else {}
+
+
+def mark() -> TraceMark | None:
+    """Mark the buffer position for :func:`since` (None when disabled)."""
+    tracer = _TRACER
+    return tracer.mark() if tracer is not None else None
+
+
+def since(base: TraceMark | None) -> dict[str, Any] | None:
+    """Delta payload since ``base`` (None when either side is disabled)."""
+    tracer = _TRACER
+    if tracer is None or base is None:
+        return None
+    return tracer.since(base)
+
+
+def absorb(delta: Mapping[str, Any] | None) -> None:
+    """Fold a worker delta into the active tracer (no-op when disabled)."""
+    tracer = _TRACER
+    if tracer is not None and delta is not None:
+        tracer.absorb(delta)
+
+
+def snapshot(meta: Mapping[str, Any] | None = None) -> dict[str, Any] | None:
+    """Schema-shaped payload of the active tracer (None when disabled)."""
+    tracer = _TRACER
+    return tracer.snapshot(meta) if tracer is not None else None
+
+
+def export_trace(
+    path: str | Path, meta: Mapping[str, Any] | None = None
+) -> dict[str, Any]:
+    """Validate and write the active trace as JSON; returns the payload.
+
+    Raises ``RuntimeError`` when tracing is off — exporting an empty
+    file would silently hide a missing ``REPRO_TRACE``/``--trace``.
+    """
+    tracer = _TRACER
+    if tracer is None:
+        raise RuntimeError(
+            "tracing is off; set REPRO_TRACE=1 (or pass --trace) before "
+            "exporting a trace"
+        )
+    payload = validate_trace(tracer.snapshot(meta))
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload

@@ -1,0 +1,94 @@
+"""Golden-trace regression tests for the observability layer.
+
+Two fixed-seed synthetic suites pin the deterministic half of an
+``MrCC.fit`` trace — the algorithm-work counters, the cluster count,
+and a hash of the label vector — as committed JSON fixtures.  Any
+change in the per-stage work counts (cells per level, convolutions,
+hypothesis tests, MDL cuts, β-cluster accept/reject) fails here with a
+counter-by-counter diff; regenerate intentionally with::
+
+    PYTHONPATH=src python scripts/regen_golden_traces.py
+
+The suite also asserts the observability contract that makes tracing
+safe to turn on anywhere: labels are bit-identical with tracing on
+versus off, and an exported trace validates against the stable schema.
+"""
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import MrCC, generate_dataset, obs
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES_DIR = Path(__file__).parent / "fixtures"
+
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+from regen_golden_traces import GOLDEN_SUITES, golden_payload  # noqa: E402
+
+sys.path.pop(0)
+
+SUITE_NAMES = sorted(GOLDEN_SUITES)
+
+
+def load_fixture(name: str) -> dict:
+    path = FIXTURES_DIR / f"{name}.json"
+    assert path.exists(), (
+        f"missing golden fixture {path}; run "
+        "PYTHONPATH=src python scripts/regen_golden_traces.py"
+    )
+    return json.loads(path.read_text())
+
+
+@pytest.mark.parametrize("name", SUITE_NAMES)
+class TestGoldenTraces:
+    def test_counters_match_committed_fixture(self, name):
+        expected = load_fixture(name)
+        observed = golden_payload(name)
+        assert observed["suite"] == expected["suite"], (
+            "suite parameters drifted from the fixture; regenerate"
+        )
+        mismatched = {
+            key: (expected["counters"].get(key), observed["counters"].get(key))
+            for key in set(expected["counters"]) | set(observed["counters"])
+            if expected["counters"].get(key) != observed["counters"].get(key)
+        }
+        assert not mismatched, (
+            f"{name}: counters drifted (fixture vs observed): {mismatched}"
+        )
+        assert observed["n_clusters_found"] == expected["n_clusters_found"]
+        assert observed["labels_sha256"] == expected["labels_sha256"]
+
+    def test_labels_identical_with_tracing_on_and_off(self, name):
+        suite = GOLDEN_SUITES[name]
+        dataset = generate_dataset(suite["spec"])
+        h = suite["n_resolutions"]
+
+        assert not obs.enabled()
+        untraced = MrCC(n_resolutions=h).fit(dataset.points)
+        with obs.capture():
+            traced = MrCC(n_resolutions=h).fit(dataset.points)
+
+        assert np.array_equal(untraced.labels, traced.labels)
+        assert untraced.labels.tobytes() == traced.labels.tobytes()
+        assert (
+            hashlib.sha256(untraced.labels.tobytes()).hexdigest()
+            == load_fixture(name)["labels_sha256"]
+        )
+
+    def test_exported_trace_is_schema_valid(self, name, tmp_path):
+        suite = GOLDEN_SUITES[name]
+        dataset = generate_dataset(suite["spec"])
+        out = tmp_path / "trace.json"
+        with obs.capture():
+            MrCC(n_resolutions=suite["n_resolutions"]).fit(dataset.points)
+            payload = obs.export_trace(out, meta={"suite": name})
+        obs.validate_trace(json.loads(out.read_text()))
+        assert payload["meta"] == {"suite": name}
+        span_names = [span["name"] for span in payload["spans"]]
+        assert span_names[0] == "fit"
+        assert {"tree.build", "search", "assemble"} <= set(span_names)

@@ -1,0 +1,266 @@
+"""Unit tests for ``repro.obs``: tracer, hooks, delta merge, schema.
+
+The golden-trace and property suites exercise the instrumented
+algorithm end to end; this file pins the tracer mechanics themselves —
+span nesting, the disabled no-op path, ``mark``/``since``/``absorb``
+delta round trips, export validation, and the schema validator's
+failure modes.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.env import trace_from_env
+from repro.obs import TraceSchemaError, validate_trace
+
+
+def make_snapshot(**overrides):
+    """A minimal schema-valid payload, with per-test overrides."""
+    payload = {
+        "schema": obs.TRACE_SCHEMA_VERSION,
+        "generated_by": "repro.obs",
+        "meta": {},
+        "counters": {},
+        "spans": [],
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestTracer:
+    def test_incr_accumulates_and_counts_events(self):
+        tracer = obs.Tracer()
+        tracer.incr("a")
+        tracer.incr("a", 4)
+        tracer.incr("b", 2)
+        assert tracer.counters == {"a": 5, "b": 2}
+        assert tracer.n_events == 3
+
+    def test_span_nesting_records_parent_and_depth(self):
+        tracer = obs.Tracer()
+        outer = tracer.begin("outer")
+        inner = tracer.begin("inner")
+        tracer.end(inner)
+        sibling = tracer.begin("sibling")
+        tracer.end(sibling)
+        tracer.end(outer)
+        records = tracer.spans
+        assert [r.name for r in records] == ["outer", "inner", "sibling"]
+        assert [r.parent for r in records] == [-1, 0, 0]
+        assert [r.depth for r in records] == [0, 1, 1]
+        assert all(r.closed for r in records)
+        assert all(r.seconds >= 0.0 for r in records)
+
+    def test_snapshot_is_schema_valid_and_sorted(self):
+        tracer = obs.Tracer()
+        tracer.incr("z.last")
+        tracer.incr("a.first")
+        with obs.capture() as live:
+            with obs.span("root"):
+                obs.incr("work")
+            payload = live.snapshot(meta={"k": "v"})
+        validate_trace(payload)
+        assert payload["meta"] == {"k": "v"}
+        assert list(tracer.snapshot()["counters"]) == ["a.first", "z.last"]
+
+    def test_open_span_reports_elapsed_in_snapshot(self):
+        tracer = obs.Tracer()
+        tracer.begin("open")
+        payload = tracer.snapshot()
+        validate_trace(payload)
+        assert payload["spans"][0]["seconds"] >= 0.0
+
+
+class TestModuleHooks:
+    def test_disabled_hooks_are_no_ops(self):
+        assert not obs.enabled()
+        assert obs.active() is None
+        obs.incr("ignored")
+        with obs.span("ignored"):
+            pass
+        assert obs.counters_snapshot() == {}
+        assert obs.mark() is None
+        assert obs.since(None) is None
+        obs.absorb(None)
+        assert obs.snapshot() is None
+
+    def test_disabled_span_is_shared_singleton(self):
+        assert obs.span("a") is obs.span("b")
+
+    def test_set_enabled_installs_and_clears(self):
+        assert obs.set_enabled(True) is False
+        try:
+            assert obs.enabled()
+            obs.incr("x")
+            assert obs.counters_snapshot() == {"x": 1}
+            # Re-enabling replaces the buffer with a fresh one.
+            assert obs.set_enabled(True) is True
+            assert obs.counters_snapshot() == {}
+        finally:
+            assert obs.set_enabled(False) is True
+        assert not obs.enabled()
+
+    def test_capture_restores_previous_state(self):
+        with obs.capture() as outer:
+            obs.incr("outer.only")
+            with obs.capture() as inner:
+                obs.incr("inner.only")
+                assert obs.active() is inner
+            assert obs.active() is outer
+            assert outer.counters == {"outer.only": 1}
+            assert inner.counters == {"inner.only": 1}
+        assert not obs.enabled()
+
+    def test_capture_restores_on_exception(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with obs.capture():
+                raise RuntimeError("boom")
+        assert not obs.enabled()
+
+
+class TestDeltaMerge:
+    def test_since_reports_only_new_work(self):
+        with obs.capture() as tracer:
+            obs.incr("before", 3)
+            base = obs.mark()
+            obs.incr("before", 2)
+            obs.incr("after")
+            with obs.span("work"):
+                pass
+            delta = obs.since(base)
+        assert delta["counters"] == {"before": 2, "after": 1}
+        assert [s["name"] for s in delta["spans"]] == ["work"]
+        assert delta["spans"][0]["parent"] == -1
+        assert delta["spans"][0]["depth"] == 0
+        # Three incr calls plus one span begin; ends are not events.
+        assert tracer.n_events == 4
+
+    def test_since_rebases_nested_spans(self):
+        tracer = obs.Tracer()
+        outer = tracer.begin("outer")
+        base = tracer.mark()
+        mid = tracer.begin("mid")
+        leaf = tracer.begin("leaf")
+        tracer.end(leaf)
+        tracer.end(mid)
+        tracer.end(outer)
+        delta = tracer.since(base)
+        # "outer" is outside the slice: "mid" becomes a root.
+        assert [s["name"] for s in delta["spans"]] == ["mid", "leaf"]
+        assert [s["parent"] for s in delta["spans"]] == [-1, 0]
+        assert [s["depth"] for s in delta["spans"]] == [0, 1]
+
+    def test_absorb_reattaches_under_open_span(self):
+        worker = obs.Tracer()
+        base = worker.mark()
+        job = worker.begin("job")
+        worker.incr("work.units", 7)
+        worker.end(job)
+        delta = worker.since(base)
+        # Deltas cross a process boundary in real runs.
+        delta = json.loads(json.dumps(delta))
+
+        parent = obs.Tracer()
+        suite = parent.begin("suite")
+        parent.absorb(delta)
+        parent.end(suite)
+        assert parent.counters == {"work.units": 7}
+        merged = parent.spans[1]
+        assert merged.name == "job"
+        assert merged.parent == 0
+        assert merged.depth == 1
+        validate_trace(parent.snapshot())
+
+    def test_absorb_into_empty_tracer_keeps_roots(self):
+        worker = obs.Tracer()
+        span = worker.begin("solo")
+        worker.end(span)
+        parent = obs.Tracer()
+        parent.absorb(worker.since(obs.TraceMark(counters={}, n_spans=0)))
+        assert parent.spans[0].parent == -1
+        assert parent.spans[0].depth == 0
+
+
+class TestExport:
+    def test_export_trace_requires_enabled(self, tmp_path):
+        assert not obs.enabled()
+        with pytest.raises(RuntimeError, match="REPRO_TRACE"):
+            obs.export_trace(tmp_path / "trace.json")
+
+    def test_export_trace_round_trips(self, tmp_path):
+        out = tmp_path / "trace.json"
+        with obs.capture():
+            with obs.span("root"):
+                obs.incr("n", 2)
+            payload = obs.export_trace(out, meta={"case": "unit"})
+        loaded = json.loads(out.read_text())
+        validate_trace(loaded)
+        assert loaded == payload
+        assert loaded["counters"] == {"n": 2}
+        assert loaded["meta"] == {"case": "unit"}
+
+
+class TestSchemaValidator:
+    def test_accepts_minimal_payload(self):
+        validate_trace(make_snapshot())
+
+    @pytest.mark.parametrize(
+        "mutation, match",
+        [
+            ({"schema": 99}, "schema must be"),
+            ({"generated_by": "elsewhere"}, "generated_by"),
+            ({"meta": {"k": []}}, "JSON scalar"),
+            ({"counters": {"c": -1}}, "non-negative"),
+            ({"counters": {"c": 1.5}}, "integer"),
+            ({"counters": {"c": True}}, "integer"),
+            ({"spans": [{}]}, "keys mismatch"),
+        ],
+    )
+    def test_rejects_bad_fields(self, mutation, match):
+        with pytest.raises(TraceSchemaError, match=match):
+            validate_trace(make_snapshot(**mutation))
+
+    def test_rejects_missing_and_extra_keys(self):
+        payload = make_snapshot()
+        del payload["spans"]
+        payload["unexpected"] = 1
+        with pytest.raises(TraceSchemaError, match="keys mismatch"):
+            validate_trace(payload)
+
+    def test_rejects_forward_parent_and_wrong_depth(self):
+        span = {
+            "name": "s", "parent": 0, "depth": 0,
+            "start_s": 0.0, "seconds": 0.0, "peak_rss_kb": 0.0,
+        }
+        with pytest.raises(TraceSchemaError, match="earlier span"):
+            validate_trace(make_snapshot(spans=[span]))
+        root = dict(span, parent=-1)
+        child = dict(span, parent=0, depth=2)
+        with pytest.raises(TraceSchemaError, match="depth must be 1"):
+            validate_trace(make_snapshot(spans=[root, child]))
+
+    def test_rejects_non_object(self):
+        with pytest.raises(TraceSchemaError, match="JSON object"):
+            validate_trace([])
+
+
+class TestEnvAndClocks:
+    def test_trace_from_env_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert trace_from_env() is None
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        assert trace_from_env() is None
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert trace_from_env() == ""
+        monkeypatch.setenv("REPRO_TRACE", "/tmp/out.json")
+        assert trace_from_env() == "/tmp/out.json"
+
+    def test_perf_clock_is_monotonic(self):
+        first = obs.perf_clock()
+        second = obs.perf_clock()
+        assert second >= first
+
+    def test_peak_rss_is_non_negative(self):
+        assert obs.peak_rss_kb() >= 0.0

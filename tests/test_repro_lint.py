@@ -105,7 +105,10 @@ class TestR003Determinism:
 
     def test_sorted_set_and_perf_counter_are_clean(self):
         assert codes(self.GOOD_SORTED, path=CORE_PATH) == []
-        assert codes(self.GOOD_PERF, path=CORE_PATH) == []
+        # perf_counter is not a *wall* clock, so R003 stays silent; in
+        # core it now belongs to R008's timing funnel instead.
+        assert "R003" not in codes(self.GOOD_PERF, path=CORE_PATH)
+        assert codes(self.GOOD_PERF, path="benchmarks/bench_x.py") == []
 
     def test_rule_only_binds_in_core_and_experiments(self):
         assert codes(self.BAD_CLOCK, path=DATA_PATH) == []
@@ -227,6 +230,60 @@ class TestR007EnvAccess:
         assert codes(source, path=CORE_PATH) == []
 
 
+class TestR008TimingFunnel:
+    BAD_PERF = "import time\nstart = time.perf_counter()\n"
+    BAD_MONOTONIC = "import time\nstart = time.monotonic()\n"
+    BAD_RUSAGE = (
+        "import resource\n"
+        "peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss\n"
+    )
+    BAD_IMPORT_PERF = "from time import perf_counter\nstart = perf_counter()\n"
+    BAD_IMPORT_RUSAGE = "from resource import getrusage\n"
+    GOOD_CLOCK = "from repro.obs import perf_clock\nstart = perf_clock()\n"
+    GOOD_SLEEP = "import time\ntime.sleep(0.1)\n"
+    OBS_PATH = "src/repro/obs/trace.py"
+    BENCH_PATH = "benchmarks/bench_obs_overhead.py"
+    SCRIPT_PATH = "scripts/perf_baseline.py"
+
+    def test_perf_counter_fires_in_core(self):
+        assert codes(self.BAD_PERF, path=CORE_PATH) == ["R008"]
+
+    def test_monotonic_fires(self):
+        assert codes(self.BAD_MONOTONIC, path=EXPERIMENTS_PATH) == ["R008"]
+
+    def test_getrusage_fires(self):
+        assert codes(self.BAD_RUSAGE, path=CORE_PATH) == ["R008"]
+
+    def test_imported_perf_counter_fires(self):
+        # The import itself is flagged, so bare calls cannot hide.
+        assert codes(self.BAD_IMPORT_PERF, path=CORE_PATH) == ["R008"]
+
+    def test_imported_getrusage_fires(self):
+        assert codes(self.BAD_IMPORT_RUSAGE, path=DATA_PATH) == ["R008"]
+
+    def test_binds_outside_the_package_too(self):
+        assert codes(self.BAD_PERF, path=self.SCRIPT_PATH) == ["R008"]
+        assert codes(self.BAD_PERF, path=TEST_PATH) == ["R008"]
+
+    def test_obs_module_is_exempt(self):
+        assert codes(self.BAD_PERF, path=self.OBS_PATH) == []
+        assert codes(self.BAD_RUSAGE, path=self.OBS_PATH) == []
+
+    def test_benchmarks_are_exempt(self):
+        assert codes(self.BAD_PERF, path=self.BENCH_PATH) == []
+
+    def test_perf_clock_and_sleep_are_clean(self):
+        assert codes(self.GOOD_CLOCK, path=CORE_PATH) == []
+        assert codes(self.GOOD_SLEEP, path=DATA_PATH) == []
+
+    def test_line_suppression_silences_r008(self):
+        source = (
+            "import time\n"
+            "start = time.perf_counter()  # repro-lint: disable=R008\n"
+        )
+        assert codes(source, path=CORE_PATH) == []
+
+
 class TestSuppression:
     def test_line_suppression(self):
         source = "import numpy as np\nx = np.random.rand(3)  # repro-lint: disable=R001\n"
@@ -322,7 +379,7 @@ class TestCli:
 
 
 @pytest.mark.parametrize(
-    "code", ["R001", "R002", "R003", "R004", "R005", "R006", "R007"]
+    "code", ["R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008"]
 )
 def test_every_rule_fires_on_its_bad_fixture(code):
     """Acceptance: each of the rules demonstrably fires."""
@@ -334,6 +391,7 @@ def test_every_rule_fires_on_its_bad_fixture(code):
         "R005": (TestR005DtypePins.BAD_ZEROS, CORE_PATH),
         "R006": (TestR006MutableDefaults.BAD_LIST, DATA_PATH),
         "R007": (TestR007EnvAccess.BAD_READ, CORE_PATH),
+        "R008": (TestR008TimingFunnel.BAD_PERF, CORE_PATH),
     }
     source, path = bad_by_code[code]
     assert code in codes(source, path=path)

@@ -24,6 +24,7 @@ RULES: dict[str, str] = {
     "R005": "core array allocations must pin an explicit dtype",
     "R006": "no mutable default arguments",
     "R007": "environment access outside repro.env",
+    "R008": "direct timing calls outside repro.obs and benchmarks",
     "R000": "file could not be parsed",
 }
 
@@ -67,6 +68,22 @@ _WALL_CLOCKS = frozenset(
     }
 )
 
+#: Timing primitives funnelled through repro.obs (R008): durations go
+#: through ``repro.obs.perf_clock`` and peak RSS through
+#: ``repro.obs.peak_rss_kb`` so timing policy has one home.  Only the
+#: observability layer itself and the benchmark harness may call these.
+_TIMING_CALLS = frozenset(
+    {
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "resource.getrusage",
+    }
+)
+
 #: numpy allocators that must pin a dtype in core (R005), mapped to the
 #: 1-based position their ``dtype`` parameter occupies when positional.
 _PINNED_ALLOCATORS = {
@@ -106,6 +123,8 @@ class PathContext:
     in_baselines: bool
     in_package: bool
     is_env_module: bool
+    in_obs: bool
+    in_benchmarks: bool
 
     @staticmethod
     def classify(path: str) -> "PathContext":
@@ -124,6 +143,8 @@ class PathContext:
             in_baselines="/repro/baselines/" in normalized,
             in_package="/repro/" in normalized,
             is_env_module=normalized.endswith("/repro/env.py"),
+            in_obs="/repro/obs/" in normalized,
+            in_benchmarks="benchmarks" in parts[:-1],
         )
 
 
@@ -203,6 +224,8 @@ class _RuleVisitor(ast.NodeVisitor):
                 self._check_set_materialisation(node, dotted)
             if self.context.in_core:
                 self._check_dtype_pin(node, dotted)
+            if self._timing_rule_binds:
+                self._check_timing_call(node, dotted)
         self.generic_visit(node)
 
     def _check_randomness(self, node: ast.Call, dotted: str) -> None:
@@ -246,8 +269,24 @@ class _RuleVisitor(ast.NodeVisitor):
                 node,
                 "R003",
                 f"wall-clock call {dotted} in a deterministic module "
-                "(inject timestamps or use time.perf_counter for durations "
-                "kept out of results)",
+                "(inject timestamps or use repro.obs.perf_clock for "
+                "durations kept out of results)",
+            )
+
+    # -- R008: timing calls outside the observability layer -----------
+
+    @property
+    def _timing_rule_binds(self) -> bool:
+        return not self.context.in_obs and not self.context.in_benchmarks
+
+    def _check_timing_call(self, node: ast.Call, dotted: str) -> None:
+        if dotted in _TIMING_CALLS:
+            self._add(
+                node,
+                "R008",
+                f"direct timing call {dotted} outside repro.obs (use "
+                "repro.obs.perf_clock / repro.obs.peak_rss_kb so timing "
+                "stays behind the one observability subsystem)",
             )
 
     def _check_set_materialisation(self, node: ast.Call, dotted: str) -> None:
@@ -312,6 +351,21 @@ class _RuleVisitor(ast.NodeVisitor):
                     f"importing {', '.join(leaked)} from os outside "
                     "repro.env (read REPRO_* knobs through the repro.env "
                     "helpers)",
+                )
+        if self._timing_rule_binds and node.module in {"time", "resource"}:
+            timers = sorted(
+                alias.name
+                for alias in node.names
+                if f"{node.module}.{alias.name}" in _TIMING_CALLS
+            )
+            if timers:
+                self._add(
+                    node,
+                    "R008",
+                    f"importing {', '.join(timers)} from {node.module} "
+                    "outside repro.obs (use repro.obs.perf_clock / "
+                    "repro.obs.peak_rss_kb so timing stays behind the one "
+                    "observability subsystem)",
                 )
         self.generic_visit(node)
 
