@@ -25,7 +25,7 @@ import sys
 
 from repro import obs
 from repro.data.suites import first_group
-from repro.env import trace_from_env
+from repro.env import propagate_trace_env, trace_from_env
 from repro.experiments.real_data import run_real_data_table
 from repro.experiments.report import format_series, format_table
 from repro.experiments.sensibility import alpha_sweep, resolution_sweep
@@ -195,8 +195,13 @@ def main(argv: list[str] | None = None) -> int:
     # --trace takes precedence over REPRO_TRACE for the export target;
     # REPRO_TRACE alone already enabled tracing at import.
     target = args.trace if args.trace is not None else trace_from_env()
-    if args.trace is not None and not obs.enabled():
-        obs.set_enabled(True)
+    if args.trace is not None:
+        if not obs.enabled():
+            obs.set_enabled(True)
+        # Mirror the flag into the environment so spawn/forkserver
+        # REPRO_JOBS workers (which re-import and read only the env)
+        # come up traced too, not just fork workers.
+        propagate_trace_env(args.trace)
     status = int(args.func(args))
     if obs.enabled() and target:
         payload = obs.export_trace(target, meta={"command": args.command})

@@ -21,6 +21,7 @@ __all__ = [
     "contracts_from_env",
     "jobs_from_env",
     "profile_from_env",
+    "propagate_trace_env",
     "trace_from_env",
 ]
 
@@ -103,3 +104,18 @@ def trace_from_env(default: str | None = None) -> str | None:
     if lowered in _TRUE_VALUES:
         return ""
     return raw
+
+
+def propagate_trace_env(target: str = "") -> None:
+    """Mirror an in-process tracing enable into ``REPRO_TRACE``.
+
+    ``obs.set_enabled(True)`` (e.g. from the CLI ``--trace`` flag) only
+    installs a tracer in the *current* process.  ``REPRO_JOBS`` workers
+    started with the ``spawn``/``forkserver`` methods re-import the
+    package and decide whether to trace from the environment alone, so
+    the enable must be mirrored there or worker counters and spans are
+    silently dropped.  ``target`` is the export path to advertise; the
+    empty string means "on, no automatic export" and is stored as
+    ``1``.
+    """
+    os.environ["REPRO_TRACE"] = target or "1"

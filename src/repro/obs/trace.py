@@ -149,13 +149,25 @@ class Tracer:
         return index
 
     def end(self, index: int) -> None:
-        """Close a span, recording duration and peak RSS at exit."""
+        """Close a span, recording duration and peak RSS at exit.
+
+        Children still open when their parent ends (exception unwinds,
+        generators never resumed) are closed here too, with their
+        duration bounded at the parent's end time — an open record
+        would otherwise keep accruing time until snapshot.
+        """
+        end_s = perf_clock() - self.epoch
+        rss = peak_rss_kb()
         record = self.spans[index]
-        record.seconds = perf_clock() - self.epoch - record.start_s
-        record.peak_rss_kb = peak_rss_kb()
+        record.seconds = end_s - record.start_s
+        record.peak_rss_kb = rss
         record.closed = True
         while self._stack and self._stack[-1] >= index:
-            self._stack.pop()
+            child = self.spans[self._stack.pop()]
+            if not child.closed:
+                child.seconds = max(0.0, end_s - child.start_s)
+                child.peak_rss_kb = rss
+                child.closed = True
 
     def mark(self) -> TraceMark:
         """Snapshot the buffer position for a later :meth:`since`."""
@@ -177,15 +189,11 @@ class Tracer:
         now_s = perf_clock() - self.epoch
         spans: list[dict[str, Any]] = []
         offset = base.n_spans
-        for index in range(offset, len(self.spans)):
-            record = self.spans[index]
+        for record in self.spans[offset:]:
             payload = record.to_payload(now_s)
-            if record.parent >= offset:
-                payload["parent"] = record.parent - offset
-                payload["depth"] = record.depth - self.spans[offset].depth
-            else:
-                payload["parent"] = -1
-                payload["depth"] = 0
+            payload["parent"] = (
+                record.parent - offset if record.parent >= offset else -1
+            )
             spans.append(payload)
         _rebase_depths(spans)
         return {"counters": counters, "spans": spans}
@@ -238,10 +246,9 @@ class Tracer:
 
 def _rebase_depths(spans: list[dict[str, Any]]) -> None:
     """Recompute delta-slice depths from the re-based parent links."""
-    for index, payload in enumerate(spans):
+    for payload in spans:
         parent = payload["parent"]
         payload["depth"] = 0 if parent < 0 else spans[parent]["depth"] + 1
-    del index
 
 
 class _NullSpan:

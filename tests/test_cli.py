@@ -1,8 +1,12 @@
 """Tests for the ``mrcc-repro`` command-line interface."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.cli import build_parser, main
+from repro.env import trace_from_env
 
 
 class TestParser:
@@ -38,6 +42,22 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "[subspaces_quality]" in out
         assert "LAC" not in out
+
+    def test_trace_flag_exports_and_propagates(self, capsys, tmp_path, monkeypatch):
+        """``--trace`` writes a schema-valid trace and mirrors itself
+        into ``REPRO_TRACE`` so spawn/forkserver ``REPRO_JOBS`` workers
+        (which re-import and read only the environment) come up traced,
+        not just fork workers."""
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        out = tmp_path / "trace.json"
+        try:
+            assert main(["list", "--trace", str(out)]) == 0
+        finally:
+            obs.set_enabled(False)
+        assert trace_from_env() == str(out)
+        payload = json.loads(out.read_text())
+        obs.validate_trace(payload)
+        assert "trace written to" in capsys.readouterr().out
 
     def test_save_and_summary_round_trip(self, capsys, tmp_path):
         path = tmp_path / "rows.json"

@@ -2,7 +2,31 @@
 
 import pytest
 
-from repro.env import contracts_from_env, jobs_from_env, profile_from_env
+from repro.env import (
+    contracts_from_env,
+    jobs_from_env,
+    profile_from_env,
+    propagate_trace_env,
+    trace_from_env,
+)
+
+
+class TestPropagateTraceEnv:
+    def test_default_advertises_on_without_export(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        propagate_trace_env()
+        assert trace_from_env() == ""
+
+    def test_export_path_round_trips(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        propagate_trace_env("/tmp/out.json")
+        assert trace_from_env() == "/tmp/out.json"
+
+    def test_overrides_a_disabled_setting(self, monkeypatch):
+        """--trace must win over an ambient REPRO_TRACE=0."""
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        propagate_trace_env()
+        assert trace_from_env() == ""
 
 
 class TestJobsFromEnv:

@@ -72,6 +72,22 @@ class TestTracer:
         validate_trace(payload)
         assert payload["spans"][0]["seconds"] >= 0.0
 
+    def test_end_closes_orphaned_children(self):
+        """A parent ending before a nested child (exception unwinds,
+        generators never resumed) closes the child too, with its
+        duration bounded at the parent's end time — not left open to
+        accrue until snapshot."""
+        tracer = obs.Tracer()
+        outer = tracer.begin("outer")
+        tracer.begin("inner")  # never ended explicitly
+        tracer.end(outer)
+        parent, child = tracer.spans
+        assert child.closed
+        assert child.start_s + child.seconds == pytest.approx(
+            parent.start_s + parent.seconds
+        )
+        assert tracer._stack == []
+
 
 class TestModuleHooks:
     def test_disabled_hooks_are_no_ops(self):
@@ -172,6 +188,26 @@ class TestDeltaMerge:
         assert merged.parent == 0
         assert merged.depth == 1
         validate_trace(parent.snapshot())
+
+    def test_since_and_absorb_with_no_spans(self):
+        """A worker task that opens no spans (the uninstrumented
+        baseline methods) still yields a valid, absorbable delta.
+        Regression: the empty span slice used to crash the depth
+        re-basing, aborting any traced parallel suite with baselines."""
+        worker = obs.Tracer()
+        base = worker.mark()
+        worker.incr("only.counters", 3)
+        delta = worker.since(base)
+        assert delta == {"counters": {"only.counters": 3}, "spans": []}
+        parent = obs.Tracer()
+        parent.absorb(delta)
+        assert parent.counters == {"only.counters": 3}
+        assert parent.spans == []
+
+    def test_since_with_nothing_new(self):
+        tracer = obs.Tracer()
+        base = tracer.mark()
+        assert tracer.since(base) == {"counters": {}, "spans": []}
 
     def test_absorb_into_empty_tracer_keeps_roots(self):
         worker = obs.Tracer()

@@ -165,6 +165,24 @@ class TestParallelCounterEquality:
             for span in fit_spans
         )
 
+    def test_parallel_traced_suite_with_uninstrumented_baseline(
+        self, suite_datasets, monkeypatch
+    ):
+        """Baseline methods open no spans, so their worker deltas carry
+        an empty span slice; the merge must handle that.  Regression:
+        the empty slice crashed delta re-basing and aborted every
+        traced parallel run that included a baseline (all fig5 rows)."""
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        with obs.capture() as tracer:
+            rows = run_suite(
+                suite_datasets[:1], methods=("MrCC", "LAC"), profile="quick",
+                track_memory=False, n_jobs=2,
+            )
+            snapshot = tracer.snapshot()
+        obs.validate_trace(snapshot)
+        assert {row["method"] for row in rows} == {"MrCC", "LAC"}
+        assert snapshot["counters"], "MrCC cells must still be counted"
+
     def test_labels_unaffected_by_tracing_in_fit(self, suite_datasets):
         points = suite_datasets[0].points
         plain = MrCC().fit(points).labels
