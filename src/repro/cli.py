@@ -9,6 +9,8 @@ Subcommands
 ``fig5 <row>``
     One synthetic comparison row (``fig5a-c`` .. ``fig5p-r``), or
     ``fig5s`` (Subspaces Quality) or ``fig5t`` (real-data table).
+    ``--journal``/``--resume`` checkpoint finished grid cells and pick
+    an interrupted sweep back up where it stopped.
 ``demo``
     Tiny end-to-end demonstration on a generated dataset.
 
@@ -63,23 +65,52 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
+    journal, resume = args.journal, args.resume
+    if resume and not journal:
+        print("--resume needs --journal <path> to resume from", file=sys.stderr)
+        return 2
     if args.row == "fig5s":
-        rows = run_subspaces_quality(scale=args.scale)
+        rows = run_subspaces_quality(
+            scale=args.scale, journal=journal, resume=resume
+        )
         print(format_series(rows, "subspaces_quality"))
     elif args.row == "fig5t":
-        rows = run_real_data_table(scale=args.scale)
+        rows = run_real_data_table(scale=args.scale, journal=journal, resume=resume)
         print(format_table(rows, ["method", "quality", "peak_kb", "seconds"]))
     else:
-        rows = run_figure_row(args.row, scale=args.scale)
+        rows = run_figure_row(
+            args.row, scale=args.scale, journal=journal, resume=resume
+        )
         for metric in PANEL_METRICS:
             print(format_series(rows, metric))
             print()
+    _report_failed_cells(rows)
     if args.save:
         from repro.experiments.summary import save_rows_json
 
         save_rows_json(rows, args.save)
         print(f"rows saved to {args.save}")
     return 0
+
+
+def _report_failed_cells(rows: list[dict]) -> None:
+    """Surface degraded cells under a partial table (stderr, not the
+    exhibit itself, so saved/piped tables stay clean)."""
+    failed = [r for r in rows if r.get("status") not in (None, "ok", "retried")]
+    for row in failed:
+        error = row.get("error") or {}
+        print(
+            f"warning: cell {row['dataset']}/{row['method']} "
+            f"{row['status']} after {row['attempts']} attempt(s)"
+            + (f": {error.get('type')}: {error.get('message')}" if error else ""),
+            file=sys.stderr,
+        )
+    if failed:
+        print(
+            f"warning: {len(failed)} cell(s) degraded to error rows; "
+            f"the tables above are partial",
+            file=sys.stderr,
+        )
 
 
 def _cmd_summary(args: argparse.Namespace) -> int:
@@ -172,6 +203,16 @@ def build_parser() -> argparse.ArgumentParser:
     fig5.add_argument(
         "--save", default=None, metavar="JSON",
         help="also write the raw rows to this JSON file",
+    )
+    fig5.add_argument(
+        "--journal", default=None, metavar="JSONL",
+        help="append one journal record per finished grid cell, "
+        "enabling --resume after an interrupt",
+    )
+    fig5.add_argument(
+        "--resume", action="store_true",
+        help="skip cells already recorded in --journal and recompute "
+        "only the remainder (bit-identical to an uninterrupted run)",
     )
     fig5.set_defaults(func=_cmd_fig5)
 

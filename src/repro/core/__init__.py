@@ -35,7 +35,12 @@ from repro.core.hypothesis_test import critical_value, neighborhood_counts
 from repro.core.mdl import mdl_cut_threshold
 from repro.core.mrcc import MrCC
 from repro.core.soft import SoftMrCC
-from repro.core.streaming import build_tree_from_chunks, fit_stream, label_stream
+from repro.core.streaming import (
+    TreeStreamBuilder,
+    build_tree_from_chunks,
+    fit_stream,
+    label_stream,
+)
 
 __all__ = [
     "ContractError",
@@ -55,6 +60,7 @@ __all__ = [
     "tree_profile",
     "cluster_diagnostics",
     "membership_confidence",
+    "TreeStreamBuilder",
     "build_tree_from_chunks",
     "fit_stream",
     "label_stream",

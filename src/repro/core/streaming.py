@@ -31,6 +31,86 @@ from repro.core.counting_tree import (
 from repro.types import ClusteringResult, FloatArray, IntArray
 
 
+class TreeStreamBuilder:
+    """Incremental Counting-tree construction with transactional absorb.
+
+    :meth:`absorb` validates a chunk *completely* — contracts, shape,
+    unit box, dimensionality — before any aggregate is touched, so a
+    rejected chunk leaves the builder exactly as it was: the stream
+    source can repair or skip the offending chunk and keep absorbing.
+    That validate-then-mutate ordering is what makes mid-stream failure
+    survivable instead of silently corrupting the tree.
+    """
+
+    def __init__(self, n_resolutions: int = 4) -> None:
+        if n_resolutions < MIN_RESOLUTIONS:
+            raise ValueError(f"n_resolutions must be >= {MIN_RESOLUTIONS}")
+        if n_resolutions > MAX_RESOLUTIONS:
+            raise ContractError(
+                f"n_resolutions must be <= {MAX_RESOLUTIONS}: level "
+                f"coordinates must fit the uint32 cell-key packing"
+            )
+        self._n_resolutions = n_resolutions
+        self._accumulators: dict[int, dict[bytes, tuple[int, np.ndarray]]] = {
+            h: {} for h in range(1, n_resolutions)
+        }
+        self._d: int | None = None
+        self._n_points = 0
+        self._n_chunks = 0
+
+    @property
+    def n_points(self) -> int:
+        """Points absorbed so far."""
+        return self._n_points
+
+    @property
+    def n_chunks(self) -> int:
+        """Non-empty chunks absorbed so far."""
+        return self._n_chunks
+
+    def absorb(self, chunk: FloatArray) -> None:
+        """Merge one ``(m_i, d)`` chunk with values in ``[0, 1)``.
+
+        Raises (``ContractError``/``ValueError``) *before* mutating any
+        state when the chunk is invalid.
+        """
+        chunk = np.asarray(chunk, dtype=np.float64)
+        check_array(
+            f"chunks[{self._n_chunks}]",
+            chunk,
+            dtype=np.float64,
+            ndim=2,
+            unit_box=True,
+        )
+        if chunk.shape[0] == 0:
+            return
+        if self._d is None:
+            self._d = chunk.shape[1]
+        elif chunk.shape[1] != self._d:
+            raise ValueError("all chunks must share the same dimensionality")
+        self._n_points += chunk.shape[0]
+        self._n_chunks += 1
+        obs.incr("stream.chunks")
+        obs.incr("stream.points", int(chunk.shape[0]))
+        _accumulate_chunk(chunk, self._n_resolutions, self._accumulators)
+
+    def build(self) -> CountingTree:
+        """Finalize the absorbed aggregates into a Counting-tree.
+
+        The accumulators are read, not consumed: more chunks can be
+        absorbed afterwards and a later :meth:`build` reflects them.
+        """
+        if self._d is None or self._n_points == 0:
+            raise ValueError("the stream delivered no points")
+        levels = {
+            h: _finalize_level(h, self._accumulators[h], self._d)
+            for h in range(1, self._n_resolutions)
+        }
+        return tree_from_levels(
+            levels, self._d, self._n_points, self._n_resolutions
+        )
+
+
 def build_tree_from_chunks(
     chunks: Iterable[FloatArray], n_resolutions: int = 4
 ) -> CountingTree:
@@ -38,52 +118,14 @@ def build_tree_from_chunks(
 
     Every chunk is a ``(m_i, d)`` array with values in ``[0, 1)``; all
     chunks must share the same dimensionality.  Aggregates are merged
-    chunk by chunk, so peak memory is one chunk plus the per-level cell
-    tables.
+    chunk by chunk (via :class:`TreeStreamBuilder`), so peak memory is
+    one chunk plus the per-level cell tables.
     """
-    if n_resolutions < MIN_RESOLUTIONS:
-        raise ValueError(f"n_resolutions must be >= {MIN_RESOLUTIONS}")
-    if n_resolutions > MAX_RESOLUTIONS:
-        raise ContractError(
-            f"n_resolutions must be <= {MAX_RESOLUTIONS}: level "
-            f"coordinates must fit the uint32 cell-key packing"
-        )
-
-    accumulators: dict[int, dict[bytes, tuple[int, np.ndarray]]] = {
-        h: {} for h in range(1, n_resolutions)
-    }
-    d: int | None = None
-    n_points = 0
-
+    builder = TreeStreamBuilder(n_resolutions=n_resolutions)
     with obs.span("stream.build"):
-        for chunk_index, chunk in enumerate(chunks):
-            chunk = np.asarray(chunk, dtype=np.float64)
-            check_array(
-                f"chunks[{chunk_index}]",
-                chunk,
-                dtype=np.float64,
-                ndim=2,
-                unit_box=True,
-            )
-            if chunk.shape[0] == 0:
-                continue
-            if d is None:
-                d = chunk.shape[1]
-            elif chunk.shape[1] != d:
-                raise ValueError("all chunks must share the same dimensionality")
-            n_points += chunk.shape[0]
-            obs.incr("stream.chunks")
-            obs.incr("stream.points", int(chunk.shape[0]))
-            _accumulate_chunk(chunk, n_resolutions, accumulators)
-
-        if d is None or n_points == 0:
-            raise ValueError("the stream delivered no points")
-
-        levels = {
-            h: _finalize_level(h, accumulators[h], d)
-            for h in range(1, n_resolutions)
-        }
-    return tree_from_levels(levels, d, n_points, n_resolutions)
+        for chunk in chunks:
+            builder.absorb(chunk)
+        return builder.build()
 
 
 def _accumulate_chunk(

@@ -1,16 +1,20 @@
 """Single home for the reproduction's environment knobs.
 
-Four environment variables steer the package without changing any
+Several environment variables steer the package without changing any
 result row: ``REPRO_JOBS`` (worker count for the experiment fan-out),
 ``REPRO_PROFILE`` (``quick``/``full`` tuning grids), ``REPRO_CONTRACTS``
-(toggle for the O(n) data-scan half of the runtime contracts) and
+(toggle for the O(n) data-scan half of the runtime contracts),
 ``REPRO_TRACE`` (the observability layer: off, on, or on plus a JSON
-export path).  Every read goes through this module so that bad values
-produce one friendly, named error instead of a raw ``int()`` traceback,
-and so the static layer can enforce the funnel: ``repro_lint`` rule
-R007 flags ``os.environ`` access anywhere else in the package, and the
-``repro_analyze`` purity pass treats these helpers as the only
-sanctioned ambient reads.
+export path) and the resilience knobs ``REPRO_RETRIES`` /
+``REPRO_TASK_TIMEOUT`` / ``REPRO_BACKOFF`` / ``REPRO_FAULTS`` (per-cell
+retry budget, per-attempt deadline in seconds, exponential-backoff base
+and the deterministic fault-injection spec consumed by
+``repro.resilience``).  Every read goes through this module so that bad
+values produce one friendly, named error instead of a raw ``int()``
+traceback, and so the static layer can enforce the funnel:
+``repro_lint`` rule R007 flags ``os.environ`` access anywhere else in
+the package, and the ``repro_analyze`` purity pass treats these helpers
+as the only sanctioned ambient reads.
 """
 
 from __future__ import annotations
@@ -18,10 +22,14 @@ from __future__ import annotations
 import os
 
 __all__ = [
+    "backoff_from_env",
     "contracts_from_env",
+    "faults_from_env",
     "jobs_from_env",
     "profile_from_env",
     "propagate_trace_env",
+    "retries_from_env",
+    "task_timeout_from_env",
     "trace_from_env",
 ]
 
@@ -104,6 +112,92 @@ def trace_from_env(default: str | None = None) -> str | None:
     if lowered in _TRUE_VALUES:
         return ""
     return raw
+
+
+def retries_from_env(default: int = 0) -> int:
+    """Retry budget per experiment cell (``REPRO_RETRIES``).
+
+    A cell is attempted ``1 + retries`` times before its failure becomes
+    a structured error row.  Unset or blank means ``default`` (no
+    retries); anything that is not a non-negative integer raises a
+    ``ValueError`` naming the variable and the offending value.
+    """
+    raw = os.environ.get("REPRO_RETRIES", "").strip()
+    if not raw:
+        return default
+    try:
+        retries = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_RETRIES must be a non-negative integer retry count "
+            f"(e.g. REPRO_RETRIES=2), got {raw!r}"
+        ) from None
+    if retries < 0:
+        raise ValueError(
+            f"REPRO_RETRIES must be a non-negative integer retry count "
+            f"(e.g. REPRO_RETRIES=2), got {raw!r}"
+        )
+    return retries
+
+
+def task_timeout_from_env(default: float | None = None) -> float | None:
+    """Per-attempt deadline in seconds (``REPRO_TASK_TIMEOUT``).
+
+    Unset, blank, ``0`` or a false value (``off``/``no``/``false``)
+    means ``default`` (no deadline).  Anything else must be a positive
+    number of seconds (fractions allowed).
+    """
+    raw = os.environ.get("REPRO_TASK_TIMEOUT", "").strip()
+    if not raw or raw.lower() in _FALSE_VALUES:
+        return default
+    try:
+        seconds = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_TASK_TIMEOUT must be a positive number of seconds "
+            f"(e.g. REPRO_TASK_TIMEOUT=300), got {raw!r}"
+        ) from None
+    if seconds <= 0:
+        raise ValueError(
+            f"REPRO_TASK_TIMEOUT must be a positive number of seconds "
+            f"(e.g. REPRO_TASK_TIMEOUT=300), got {raw!r}"
+        )
+    return seconds
+
+
+def backoff_from_env(default: float = 0.05) -> float:
+    """Exponential-backoff base in seconds (``REPRO_BACKOFF``).
+
+    Retry ``k`` of a cell sleeps ``backoff * 2**(k-1)`` seconds (plus a
+    small deterministic jitter derived from the cell key).  Unset or
+    blank means ``default``; the value must be a non-negative number.
+    """
+    raw = os.environ.get("REPRO_BACKOFF", "").strip()
+    if not raw:
+        return default
+    try:
+        base = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BACKOFF must be a non-negative number of seconds "
+            f"(e.g. REPRO_BACKOFF=0.5), got {raw!r}"
+        ) from None
+    if base < 0:
+        raise ValueError(
+            f"REPRO_BACKOFF must be a non-negative number of seconds "
+            f"(e.g. REPRO_BACKOFF=0.5), got {raw!r}"
+        )
+    return base
+
+
+def faults_from_env(default: str = "") -> str:
+    """Raw deterministic fault-injection spec (``REPRO_FAULTS``).
+
+    The grammar (``kind:match:cell[:attempts]``, comma-separated) is
+    owned by :mod:`repro.resilience.faults`; this helper only funnels
+    the ambient read so R007 keeps every ``os.environ`` access here.
+    """
+    return os.environ.get("REPRO_FAULTS", "").strip() or default
 
 
 def propagate_trace_env(target: str = "") -> None:

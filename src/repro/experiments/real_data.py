@@ -16,8 +16,7 @@ seconds exactly like Figure 5t.
 from __future__ import annotations
 
 from repro.data.kddcup2008 import KddCup2008Spec, kddcup2008_split
-from repro.experiments.config import method_registry
-from repro.experiments.runner import run_method_on_dataset
+from repro.experiments.runner import run_suite
 from repro.types import Dataset
 
 TABLE_METHODS = ("EPCH", "CFPC", "HARP", "MrCC")
@@ -33,14 +32,19 @@ def run_real_data_table(
     scale: float = 0.05,
     profile: str | None = None,
     methods: tuple[str, ...] = TABLE_METHODS,
+    journal: str | None = None,
+    resume: bool = False,
 ) -> list[dict]:
-    """Rows of the Figure 5t table on the simulated KDD Cup 2008 data."""
+    """Rows of the Figure 5t table on the simulated KDD Cup 2008 data.
+
+    Runs under the resilience supervisor (one method blowing up on the
+    real data yields an error row, not an aborted table) and forwards
+    ``journal``/``resume`` for checkpointed runs.
+    """
     dataset = real_data_dataset(scale=scale)
-    registry = method_registry()
-    rows = []
-    for name in methods:
-        rows.append(run_method_on_dataset(registry[name], dataset, profile=profile))
-    return rows
+    return run_suite(
+        [dataset], methods=methods, profile=profile, journal=journal, resume=resume
+    )
 
 
 def check_lac_degenerates(scale: float = 0.05) -> dict:

@@ -73,6 +73,10 @@ def format_series(
 
 
 def _fmt(value) -> str:
+    if value is None:
+        # A failed cell's missing metric (partial tables degrade to a
+        # dash, not the word "None").
+        return "-"
     if isinstance(value, float):
         # Formatting sentinel: render exact 0.0 (an unmeasured field,
         # not a small number) compactly.

@@ -6,18 +6,34 @@ run time (seconds) and memory consumption (KB) of that configuration.
 :func:`run_method_on_dataset` reproduces that protocol; non-deterministic
 methods (CFPC in the paper) average over ``n_repeats`` seeded runs.
 
-:func:`run_suite` can fan the (dataset, method, configuration) grid out
-over worker processes: set ``REPRO_JOBS`` (or pass ``n_jobs``) to the
-worker count.  The default of 1 keeps the exact serial code path, so
-results and timings are unaffected unless parallelism is requested;
-with workers the reduction replays the serial grid order, so every
-deterministic row field matches a serial run (the measured ``seconds``
-and ``peak_kb`` still depend on machine load, as they do serially).
+:func:`run_suite` runs the (dataset, method, configuration) grid under
+the :mod:`repro.resilience` supervisor on both execution paths:
+
+* ``n_jobs`` (or ``REPRO_JOBS``) fans cells out over worker processes;
+  the default of 1 runs them inline.  Either way the reduction replays
+  the serial grid order, so every deterministic row field matches a
+  serial run (the measured ``seconds`` and ``peak_kb`` still depend on
+  machine load, as they do serially).
+* A cell that raises, hangs past ``REPRO_TASK_TIMEOUT`` or takes its
+  worker process down costs exactly that cell: after the
+  ``REPRO_RETRIES`` budget it degrades into a structured error row
+  (``status``/``attempts``/``error``) and the suite keeps going.
+* ``journal=`` appends one JSONL record per finished cell;
+  ``resume=`` skips journaled cells and reproduces the remaining rows
+  bit-identically against an uninterrupted run.
+
+Successful suite rows carry ``status`` (``ok``, or ``retried`` when the
+winning cell needed a retry) and ``attempts`` next to the metric
+fields; error rows carry ``status``/``attempts``/``error`` and *no*
+metric fields, which ``report``/``summary`` render as partial tables.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import json
+import math
+from pathlib import Path
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -31,6 +47,9 @@ from repro.experiments.config import (
     method_registry,
     profile_from_env,
 )
+from repro.resilience.faults import FaultSpec, fire
+from repro.resilience.journal import RunJournal, load_journal
+from repro.resilience.supervisor import CellOutcome, Task, run_supervised
 from repro.types import Dataset
 
 __all__ = [
@@ -60,13 +79,31 @@ def run_method_on_dataset(
     best_row: dict | None = None
     for params in spec.grid(dataset, profile):
         row = _run_configuration(spec, dataset, params, n_repeats, track_memory=False)
-        if best_row is None or row["quality"] > best_row["quality"]:
+        if best_row is None or _is_better(row, best_row):
             best_row = row
     if best_row is None:
         raise RuntimeError(f"{spec.name} produced an empty tuning grid")
     if track_memory:
         _attach_memory_pass(spec, dataset, best_row)
     return best_row
+
+
+def _is_better(row: dict, best_row: dict) -> bool:
+    """NaN-aware best-quality comparison for the tuning-grid reduction.
+
+    ``row["quality"] > best`` is always ``False`` when either side is
+    NaN, so a NaN row could silently *win* (by arriving first) or a NaN
+    incumbent could never be displaced.  Treat NaN explicitly as worse
+    than any number; ties keep the earlier grid entry, preserving the
+    serial tie-breaking.
+    """
+    quality = row["quality"]
+    incumbent = best_row["quality"]
+    if math.isnan(quality):
+        return False
+    if math.isnan(incumbent):
+        return True
+    return quality > incumbent
 
 
 def _attach_memory_pass(spec: MethodSpec, dataset: Dataset, row: dict) -> None:
@@ -121,23 +158,43 @@ def _run_configuration(
 
 
 def _configuration_task(
-    method_name: str, dataset: Dataset, params: dict, n_repeats: int
+    method_name: str,
+    dataset: Dataset,
+    params: dict,
+    n_repeats: int,
+    *,
+    attempt: int,
+    fault: str | None,
+    in_worker: bool,
 ) -> dict:
-    """Worker-side unit: one (dataset, method, configuration) cell.
+    """Supervised unit: one (dataset, method, configuration) cell.
 
     ``MethodSpec`` builders are closures and do not pickle, so workers
     rebuild the registry and look the spec up by name.  Seeded repeats
     run inside the task, keeping the per-configuration seed sequence of
-    the serial sweep.
+    the serial sweep; ``attempt`` is deliberately unused — a retried
+    attempt recomputes the exact same row, which is what makes retry
+    transparent to the result table.
+
+    ``fault`` is the planned injection directive for this attempt (the
+    supervisor ships it as a plain argument so this closure stays free
+    of ambient reads); it fires before any work so a sabotaged attempt
+    costs nothing.
 
     Tracing: a worker process inherits its tracer from ``REPRO_TRACE``
     at import (or the forked parent state) and must not install one
     here — the purity pass forbids module-state writes in this closure.
-    The task only *reads* the tracer: counters and spans produced by
-    this cell travel back as a ``"_trace"`` delta that the parent folds
-    in and strips before reduction, so result rows match a serial run.
+    The task only *reads* the tracer.  Under ``in_worker`` the cell's
+    counters and spans travel back as a ``"_trace"`` delta that the
+    parent folds in and strips before reduction; inline (serial) the
+    live tracer already counted them, so emitting a delta would double
+    count.
     """
+    if fault is not None:
+        fire(fault, in_worker)
     spec = method_registry()[method_name]
+    if not in_worker:
+        return _run_configuration(spec, dataset, params, n_repeats, track_memory=False)
     base = obs.mark()
     row = _run_configuration(spec, dataset, params, n_repeats, track_memory=False)
     delta = obs.since(base)
@@ -152,90 +209,197 @@ def run_suite(
     profile: str | None = None,
     track_memory: bool = True,
     n_jobs: int | None = None,
+    retries: int | None = None,
+    timeout: float | None = None,
+    backoff: float | None = None,
+    faults: str | tuple[FaultSpec, ...] | None = None,
+    journal: str | Path | RunJournal | None = None,
+    resume: bool | str | Path | Mapping[str, Mapping[str, Any]] = False,
 ) -> list[dict]:
     """Run the selected methods over a dataset iterable; rows per pair.
 
     ``n_jobs`` (default: the ``REPRO_JOBS`` environment variable, else
     1) fans the (dataset, method, configuration) grid over worker
-    processes.  ``n_jobs=1`` runs the untouched serial path.
+    processes; both paths run under the resilience supervisor, so a
+    failing cell degrades into a structured error row instead of
+    aborting the sweep.  ``retries``/``timeout``/``backoff``/``faults``
+    default to their ``REPRO_*`` environment knobs.
+
+    ``journal`` (a path or an open :class:`RunJournal`) records one
+    JSONL line per finished cell.  ``resume`` skips already-journaled
+    cells: ``True`` loads the ``journal`` path, or pass a journal path
+    or a preloaded ``key -> record`` index directly.  A resume path
+    that does not exist yet simply means a fresh run.
     """
     registry = method_registry()
     unknown = [m for m in methods if m not in registry]
     if unknown:
         raise ValueError(f"unknown methods: {unknown}")
     n_jobs = jobs_from_env() if n_jobs is None else int(n_jobs)
+    profile = profile or profile_from_env()
     datasets = list(datasets)
-    with obs.span("suite.run"):
-        if n_jobs <= 1:
-            rows = []
-            for dataset in datasets:
-                for name in methods:
-                    rows.append(
-                        run_method_on_dataset(
-                            registry[name], dataset, profile=profile,
-                            track_memory=track_memory,
-                        )
-                    )
-            return rows
-        return _run_suite_parallel(
-            datasets, methods, registry, profile, track_memory, n_jobs
-        )
+
+    cells, tasks = _enumerate_cells(datasets, methods, registry, profile)
+    resume_index = _resolve_resume(resume, journal)
+    run_journal, owns_journal = _open_journal(journal, datasets, methods, profile)
+    try:
+        with obs.span("suite.run"):
+            outcomes = run_supervised(
+                _configuration_task,
+                tasks,
+                n_jobs=n_jobs,
+                retries=retries,
+                timeout=timeout,
+                backoff=backoff,
+                faults=faults,
+                journal=run_journal,
+                resume=resume_index,
+            )
+            # Fold worker trace deltas back in (task order is the serial
+            # sweep order, so the merged span sequence is deterministic)
+            # and strip the side channel before reduction so rows compare
+            # equal to a serial run.  Inline and resumed cells carry no
+            # delta.
+            for outcome in outcomes:
+                if outcome.row is not None:
+                    obs.absorb(outcome.row.pop("_trace", None))
+            return _reduce_outcomes(
+                cells, outcomes, datasets, methods, registry, track_memory
+            )
+    finally:
+        if owns_journal and run_journal is not None:
+            run_journal.close()
 
 
-def _run_suite_parallel(
+def _cell_key(dataset_name: str, method_name: str, params: dict) -> str:
+    """Stable identity of one grid cell (journal key, fault target)."""
+    return f"{dataset_name}|{method_name}|{json.dumps(params, sort_keys=True)}"
+
+
+def _enumerate_cells(
     datasets: list[Dataset],
     methods: tuple[str, ...],
     registry: dict[str, MethodSpec],
-    profile: str | None,
-    track_memory: bool,
-    n_jobs: int,
-) -> list[dict]:
-    """Fan the configuration grid over processes; reduce to best rows.
-
-    The reduction walks tasks in the serial sweep order and keeps the
-    strictly-better row, which reproduces the serial tie-breaking
-    (first grid entry wins ties); the optional memory pass happens in
-    the parent on winning configurations only, exactly as serially.
-    """
-    profile = profile or profile_from_env()
-    tasks: list[tuple[int, str, dict]] = []
+    profile: str,
+) -> tuple[list[tuple[int, str, dict]], list[Task]]:
+    """The grid in serial sweep order, as (cells, supervised tasks)."""
+    cells: list[tuple[int, str, dict]] = []
+    tasks: list[Task] = []
     for dataset_index, dataset in enumerate(datasets):
         for name in methods:
-            for params in registry[name].grid(dataset, profile):
-                tasks.append((dataset_index, name, params))
+            grid = list(registry[name].grid(dataset, profile))
+            if not grid:
+                raise RuntimeError(f"{name} produced an empty tuning grid")
+            for params in grid:
+                cells.append((dataset_index, name, params))
+                tasks.append(
+                    Task(
+                        key=_cell_key(dataset.name, name, params),
+                        args=(name, dataset, params, DEFAULT_N_REPEATS),
+                    )
+                )
+    return cells, tasks
 
-    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-        futures = [
-            pool.submit(
-                _configuration_task,
-                name,
-                datasets[dataset_index],
-                params,
-                DEFAULT_N_REPEATS,
+
+def _resolve_resume(
+    resume: bool | str | Path | Mapping[str, Mapping[str, Any]],
+    journal: str | Path | RunJournal | None,
+) -> dict[str, Mapping[str, Any]]:
+    """Normalise the ``resume`` argument into a ``key -> record`` index."""
+    if resume is False or resume is None:
+        return {}
+    if resume is True:
+        if isinstance(journal, RunJournal):
+            path = journal.path
+        elif journal is not None:
+            path = Path(journal)
+        else:
+            raise ValueError("resume=True needs a journal path to resume from")
+        return load_journal(path) if path.exists() else {}
+    if isinstance(resume, (str, Path)):
+        path = Path(resume)
+        return load_journal(path) if path.exists() else {}
+    return dict(resume)
+
+
+def _open_journal(
+    journal: str | Path | RunJournal | None,
+    datasets: list[Dataset],
+    methods: tuple[str, ...],
+    profile: str,
+) -> tuple[RunJournal | None, bool]:
+    """Open a journal given as a path; pass through an open one."""
+    if journal is None:
+        return None, False
+    if isinstance(journal, RunJournal):
+        return journal, False
+    meta = {
+        "datasets": [dataset.name for dataset in datasets],
+        "methods": list(methods),
+        "profile": profile,
+    }
+    return RunJournal(journal, meta=meta), True
+
+
+def _reduce_outcomes(
+    cells: list[tuple[int, str, dict]],
+    outcomes: list[CellOutcome],
+    datasets: list[Dataset],
+    methods: tuple[str, ...],
+    registry: dict[str, MethodSpec],
+    track_memory: bool,
+) -> list[dict]:
+    """Reduce cell outcomes to suite rows, degrading gracefully.
+
+    Walking cells in the serial sweep order keeps the strictly-better
+    reduction's tie-breaking (first grid entry wins ties).  Each pair
+    contributes its best successful row — annotated with the winning
+    cell's ``status``/``attempts`` — followed by one structured error
+    row per terminally-failed cell; a pair whose every cell failed
+    contributes only error rows.  The optional memory pass happens in
+    the parent on winning configurations only, exactly as serially.
+    """
+    best: dict[tuple[int, str], tuple[dict, CellOutcome]] = {}
+    errors: dict[tuple[int, str], list[dict]] = {}
+    for (dataset_index, name, params), outcome in zip(cells, outcomes):
+        pair = (dataset_index, name)
+        if outcome.row is not None:
+            if pair not in best or _is_better(outcome.row, best[pair][0]):
+                best[pair] = (outcome.row, outcome)
+        else:
+            errors.setdefault(pair, []).append(
+                _error_row(datasets[dataset_index], name, params, outcome)
             )
-            for dataset_index, name, params in tasks
-        ]
-        results = [future.result() for future in futures]
-
-    # Fold worker trace deltas back in (serial sweep order, so the
-    # merged span sequence is deterministic) and strip the side channel
-    # before reduction so rows compare equal to a serial run.
-    for row in results:
-        obs.absorb(row.pop("_trace", None))
-
-    best: dict[tuple[int, str], dict] = {}
-    for (dataset_index, name, _), row in zip(tasks, results):
-        key = (dataset_index, name)
-        if key not in best or row["quality"] > best[key]["quality"]:
-            best[key] = row
 
     rows = []
     for dataset_index, dataset in enumerate(datasets):
         for name in methods:
-            if (dataset_index, name) not in best:
-                raise RuntimeError(f"{name} produced an empty tuning grid")
-            row = best[(dataset_index, name)]
-            if track_memory:
-                _attach_memory_pass(registry[name], dataset, row)
-            rows.append(row)
+            pair = (dataset_index, name)
+            if pair in best:
+                row, outcome = best[pair]
+                row["status"] = outcome.status
+                row["attempts"] = outcome.attempts
+                if track_memory:
+                    _attach_memory_pass(registry[name], dataset, row)
+                rows.append(row)
+            rows.extend(errors.get(pair, ()))
     return rows
+
+
+def _error_row(
+    dataset: Dataset, method_name: str, params: dict, outcome: CellOutcome
+) -> dict:
+    """Structured stand-in for a cell that exhausted its retry budget.
+
+    Carries no metric fields — ``report`` renders the gaps as blanks
+    and ``summary`` skips the row — so a partially-failed suite still
+    produces its table.
+    """
+    return {
+        "method": method_name,
+        "dataset": dataset.name,
+        "status": outcome.status,
+        "attempts": outcome.attempts,
+        "error": dict(outcome.error or {}),
+        "params": dict(params),
+    }

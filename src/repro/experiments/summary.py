@@ -23,6 +23,7 @@ def speedup_table(rows: list[dict], base_method: str = "MrCC") -> dict[str, floa
     contribute; the geometric mean matches the paper's multiplicative
     "times faster" phrasing.
     """
+    rows = _measured(rows, "seconds")
     base = {
         row["dataset"]: row["seconds"]
         for row in rows
@@ -45,6 +46,7 @@ def speedup_table(rows: list[dict], base_method: str = "MrCC") -> dict[str, floa
 
 def memory_table(rows: list[dict], base_method: str = "MrCC") -> dict[str, float]:
     """Geometric-mean peak-memory ratio against ``base_method``."""
+    rows = _measured(rows, "peak_kb")
     base = {
         row["dataset"]: row["peak_kb"]
         for row in rows
@@ -69,11 +71,21 @@ def memory_table(rows: list[dict], base_method: str = "MrCC") -> dict[str, float
 def quality_table(rows: list[dict]) -> dict[str, float]:
     """Mean Quality per method over all datasets in ``rows``."""
     totals: dict[str, list[float]] = {}
-    for row in rows:
+    for row in _measured(rows, "quality"):
         totals.setdefault(row["method"], []).append(row["quality"])
     return {
         method: float(np.mean(values)) for method, values in sorted(totals.items())
     }
+
+
+def _measured(rows: list[dict], metric: str) -> list[dict]:
+    """Drop the structured error rows a degraded suite run emits.
+
+    Error rows carry ``status``/``error`` but no metric fields, so any
+    aggregate over them would ``KeyError``; partial tables aggregate
+    what was measured.
+    """
+    return [row for row in rows if metric in row]
 
 
 def save_rows_json(rows: list[dict], path: str | Path) -> None:

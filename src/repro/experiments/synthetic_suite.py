@@ -44,19 +44,31 @@ def run_figure_row(
     scale: float = 0.05,
     methods: tuple[str, ...] = HEADLINE_METHODS,
     profile: str | None = None,
+    journal: str | None = None,
+    resume: bool = False,
 ) -> list[dict]:
-    """Run one Figure 5 row and return its rows."""
+    """Run one Figure 5 row and return its rows.
+
+    ``journal``/``resume`` are forwarded to :func:`run_suite`: a long
+    row sweep can checkpoint every finished cell and pick up where an
+    interrupted run stopped.
+    """
     try:
         row = FIGURE_ROWS[figure]
     except KeyError:
         valid = ", ".join(sorted(FIGURE_ROWS))
         raise ValueError(f"unknown figure {figure!r}; expected one of: {valid}") from None
     datasets = suite_by_name(row.suite, scale=scale)
-    return run_suite(datasets, methods=methods, profile=profile)
+    return run_suite(
+        datasets, methods=methods, profile=profile, journal=journal, resume=resume
+    )
 
 
 def run_subspaces_quality(
-    scale: float = 0.05, profile: str | None = None
+    scale: float = 0.05,
+    profile: str | None = None,
+    journal: str | None = None,
+    resume: bool = False,
 ) -> list[dict]:
     """Figure 5s: Subspaces Quality over the first group, LAC excluded.
 
@@ -65,4 +77,6 @@ def run_subspaces_quality(
     """
     methods = tuple(m for m in HEADLINE_METHODS if m != "LAC")
     datasets = suite_by_name("first_group", scale=scale)
-    return run_suite(datasets, methods=methods, profile=profile)
+    return run_suite(
+        datasets, methods=methods, profile=profile, journal=journal, resume=resume
+    )

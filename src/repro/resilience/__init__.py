@@ -1,0 +1,52 @@
+"""Resilience layer: supervised execution for the experiment grid.
+
+Three pieces, each usable on its own:
+
+* :mod:`repro.resilience.supervisor` — per-cell isolation (exceptions,
+  deadlines, worker deaths), seeded retry with deterministic backoff,
+  and graceful degradation into structured error rows;
+* :mod:`repro.resilience.journal` — the append-fsync JSONL run journal
+  behind checkpoint-resume;
+* :mod:`repro.resilience.faults` — the deterministic fault-injection
+  harness (``REPRO_FAULTS``) the chaos tests drive.
+
+``experiments.runner`` wires all three under ``run_suite``.
+"""
+
+from repro.resilience.faults import (
+    FaultSpec,
+    InjectedFault,
+    SimulatedKill,
+    parse_faults,
+    plan_faults,
+)
+from repro.resilience.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    JournalError,
+    RunJournal,
+    load_journal,
+    validate_record,
+)
+from repro.resilience.supervisor import (
+    CellOutcome,
+    CellTimeout,
+    Task,
+    run_supervised,
+)
+
+__all__ = [
+    "CellOutcome",
+    "CellTimeout",
+    "FaultSpec",
+    "InjectedFault",
+    "JOURNAL_SCHEMA_VERSION",
+    "JournalError",
+    "RunJournal",
+    "SimulatedKill",
+    "Task",
+    "load_journal",
+    "parse_faults",
+    "plan_faults",
+    "run_supervised",
+    "validate_record",
+]

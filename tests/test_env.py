@@ -3,10 +3,14 @@
 import pytest
 
 from repro.env import (
+    backoff_from_env,
     contracts_from_env,
+    faults_from_env,
     jobs_from_env,
     profile_from_env,
     propagate_trace_env,
+    retries_from_env,
+    task_timeout_from_env,
     trace_from_env,
 )
 
@@ -108,3 +112,72 @@ class TestContractsFromEnv:
         monkeypatch.setenv("REPRO_CONTRACTS", "maybe")
         with pytest.raises(ValueError, match="REPRO_CONTRACTS.*'maybe'"):
             contracts_from_env()
+
+
+class TestRetriesFromEnv:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RETRIES", raising=False)
+        assert retries_from_env() == 0
+        assert retries_from_env(default=2) == 2
+
+    def test_valid_counts(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRIES", "3")
+        assert retries_from_env() == 3
+        monkeypatch.setenv("REPRO_RETRIES", "0")
+        assert retries_from_env(default=5) == 0
+
+    @pytest.mark.parametrize("raw", ["two", "1.5", "-1"])
+    def test_bad_values_name_the_variable(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_RETRIES", raw)
+        with pytest.raises(ValueError, match="REPRO_RETRIES"):
+            retries_from_env()
+
+
+class TestTaskTimeoutFromEnv:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TASK_TIMEOUT", raising=False)
+        assert task_timeout_from_env() is None
+        assert task_timeout_from_env(default=30.0) == 30.0
+
+    def test_seconds_parse_as_float(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "2.5")
+        assert task_timeout_from_env() == 2.5
+
+    @pytest.mark.parametrize("raw", ["0", "off", "false", "no"])
+    def test_disabled_values_return_default(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", raw)
+        assert task_timeout_from_env() is None
+
+    @pytest.mark.parametrize("raw", ["soon", "-5"])
+    def test_bad_values_name_the_variable(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", raw)
+        with pytest.raises(ValueError, match="REPRO_TASK_TIMEOUT"):
+            task_timeout_from_env()
+
+
+class TestBackoffFromEnv:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKOFF", raising=False)
+        assert backoff_from_env() == 0.05
+        assert backoff_from_env(default=1.0) == 1.0
+
+    def test_zero_disables_backoff(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKOFF", "0")
+        assert backoff_from_env() == 0.0
+
+    @pytest.mark.parametrize("raw", ["later", "-0.1"])
+    def test_bad_values_name_the_variable(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_BACKOFF", raw)
+        with pytest.raises(ValueError, match="REPRO_BACKOFF"):
+            backoff_from_env()
+
+
+class TestFaultsFromEnv:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert faults_from_env() == ""
+        assert faults_from_env(default="raise:mrcc:0") == "raise:mrcc:0"
+
+    def test_spec_passes_through_stripped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "  raise:mrcc:0,kill:lac:1 ")
+        assert faults_from_env() == "raise:mrcc:0,kill:lac:1"

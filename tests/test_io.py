@@ -40,6 +40,45 @@ class TestCsv:
             load_points_csv(path)
 
 
+class TestMalformedCsv:
+    """Malformed input must fail with the file and line, not a raw
+    NumPy conversion error."""
+
+    def _write(self, tmp_path, text):
+        path = tmp_path / "data.csv"
+        path.write_text(text)
+        return path
+
+    def test_non_numeric_cell_names_file_line_column(self, tmp_path):
+        path = self._write(tmp_path, "a,b\n1.0,2.0\n3.0,oops\n")
+        with pytest.raises(ValueError, match=rf"{path.name}:3: .*column 1.*'oops'"):
+            load_points_csv(path, normalize=False)
+
+    def test_ragged_row_names_file_and_line(self, tmp_path):
+        path = self._write(tmp_path, "a,b\n1.0,2.0\n3.0\n5.0,6.0\n")
+        with pytest.raises(ValueError, match=rf"{path.name}:3: ragged row"):
+            load_points_csv(path, normalize=False)
+
+    @pytest.mark.parametrize("cell", ["nan", "inf", "-inf"])
+    def test_non_finite_cell_rejected(self, tmp_path, cell):
+        path = self._write(tmp_path, f"a,b\n1.0,2.0\n{cell},4.0\n")
+        with pytest.raises(ValueError, match=rf"{path.name}:3: non-finite"):
+            load_points_csv(path, normalize=False)
+
+    def test_non_integer_label_names_file_and_line(self, tmp_path):
+        path = self._write(tmp_path, "a,y\n1.0,0\n2.0,maybe\n")
+        with pytest.raises(
+            ValueError, match=rf"{path.name}:3: .*integer label.*'maybe'"
+        ):
+            load_points_csv(path, label_column=-1, normalize=False)
+
+    def test_valid_file_still_loads_after_hardening(self, tmp_path):
+        path = self._write(tmp_path, "a,b\n1.5,2.5\n3.5,4.5\n")
+        points, labels = load_points_csv(path, normalize=False)
+        assert points.tolist() == [[1.5, 2.5], [3.5, 4.5]]
+        assert labels is None
+
+
 class TestNpzRoundTrip:
     def test_round_trip_preserves_everything(self, tmp_path, easy_dataset):
         path = tmp_path / "dataset.npz"

@@ -54,8 +54,12 @@ class TestMdlCutPosition:
     def test_single_value(self):
         assert mdl_cut_position(np.array([42.0])) == 1
 
+    # The low mode is kept tight (width 1 against a 59-unit gap) so the
+    # between-modes cut always beats any within-mode cut under the MDL
+    # cost; a wide low mode (e.g. 10..20) admits rare examples where
+    # splitting the low mode itself is genuinely cheaper.
     @given(
-        low=st.lists(st.floats(10.0, 20.0), min_size=1, max_size=8),
+        low=st.lists(st.floats(10.0, 11.0), min_size=1, max_size=8),
         high=st.lists(st.floats(70.0, 90.0), min_size=1, max_size=8),
     )
     @settings(max_examples=40, deadline=None)

@@ -385,6 +385,32 @@ class TestPurityPass:
         entries = find_parallel_entries(project)
         assert [entry.qualname for entry in entries] == ["disp.task"]
 
+    def test_run_supervised_dispatch_roots_the_proof(self, tmp_path):
+        # The resilient runner hands its worker to run_supervised
+        # instead of a raw pool.submit; the proof must still root at the
+        # worker even though the calling module imports no executor.
+        project = make_project(
+            tmp_path,
+            {
+                "supervised.py": """
+                import numpy as np
+                from repro.resilience.supervisor import Task, run_supervised
+
+                def task(name, params, *, attempt, fault, in_worker):
+                    return {"noise": float(np.random.uniform())}
+
+                def run(cells):
+                    tasks = [Task(key=k, args=a) for k, a in cells]
+                    return run_supervised(task, tasks, n_jobs=2)
+                """
+            },
+        )
+        entries = find_parallel_entries(project)
+        assert [entry.qualname for entry in entries] == ["supervised.task"]
+        findings = self._analyze(project)
+        assert codes(findings) == ["A202"]
+        assert findings[0].symbol == "supervised.task"
+
     def test_no_executor_import_means_no_entries(self, tmp_path):
         # ``pool.submit`` on something else (a thread pool wrapper the
         # module built itself) does not root a proof.

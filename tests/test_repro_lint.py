@@ -284,6 +284,54 @@ class TestR008TimingFunnel:
         assert codes(source, path=CORE_PATH) == []
 
 
+class TestR009ExceptionHandling:
+    BAD_BARE = "try:\n    work()\nexcept:\n    recover()\n"
+    BAD_SWALLOW = "try:\n    work()\nexcept ValueError:\n    pass\n"
+    BAD_ELLIPSIS = "try:\n    work()\nexcept OSError:\n    ...\n"
+    BAD_BOTH = "try:\n    work()\nexcept:\n    pass\n"
+    GOOD_NAMED = (
+        "try:\n"
+        "    work()\n"
+        "except ValueError as error:\n"
+        "    raise RuntimeError('context') from error\n"
+    )
+    GOOD_HANDLED = "try:\n    work()\nexcept KeyError:\n    value = None\n"
+    RESILIENCE_PATH = "src/repro/resilience/supervisor.py"
+
+    def test_bare_except_fires(self):
+        assert codes(self.BAD_BARE, path=CORE_PATH) == ["R009"]
+
+    def test_swallowed_except_fires(self):
+        assert codes(self.BAD_SWALLOW, path=EXPERIMENTS_PATH) == ["R009"]
+
+    def test_ellipsis_body_fires(self):
+        assert codes(self.BAD_ELLIPSIS, path=DATA_PATH) == ["R009"]
+
+    def test_bare_and_swallowed_both_reported(self):
+        assert codes(self.BAD_BOTH, path=CORE_PATH) == ["R009", "R009"]
+
+    def test_named_reraise_is_clean(self):
+        assert codes(self.GOOD_NAMED, path=CORE_PATH) == []
+
+    def test_handled_fallback_is_clean(self):
+        assert codes(self.GOOD_HANDLED, path=CORE_PATH) == []
+
+    def test_resilience_package_is_exempt(self):
+        assert codes(self.BAD_SWALLOW, path=self.RESILIENCE_PATH) == []
+
+    def test_tests_are_exempt(self):
+        assert codes(self.BAD_SWALLOW, path=TEST_PATH) == []
+
+    def test_line_suppression_silences_r009(self):
+        source = (
+            "try:\n"
+            "    work()\n"
+            "except ValueError:  # repro-lint: disable=R009\n"
+            "    pass\n"
+        )
+        assert codes(source, path=CORE_PATH) == []
+
+
 class TestSuppression:
     def test_line_suppression(self):
         source = "import numpy as np\nx = np.random.rand(3)  # repro-lint: disable=R001\n"
@@ -379,7 +427,8 @@ class TestCli:
 
 
 @pytest.mark.parametrize(
-    "code", ["R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008"]
+    "code",
+    ["R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008", "R009"],
 )
 def test_every_rule_fires_on_its_bad_fixture(code):
     """Acceptance: each of the rules demonstrably fires."""
@@ -392,6 +441,7 @@ def test_every_rule_fires_on_its_bad_fixture(code):
         "R006": (TestR006MutableDefaults.BAD_LIST, DATA_PATH),
         "R007": (TestR007EnvAccess.BAD_READ, CORE_PATH),
         "R008": (TestR008TimingFunnel.BAD_PERF, CORE_PATH),
+        "R009": (TestR009ExceptionHandling.BAD_BARE, CORE_PATH),
     }
     source, path = bad_by_code[code]
     assert code in codes(source, path=path)

@@ -3,9 +3,15 @@
 import numpy as np
 import pytest
 
+from repro.core.contracts import ContractError
 from repro.core.counting_tree import CountingTree
 from repro.core.mrcc import MrCC
-from repro.core.streaming import build_tree_from_chunks, fit_stream, label_stream
+from repro.core.streaming import (
+    TreeStreamBuilder,
+    build_tree_from_chunks,
+    fit_stream,
+    label_stream,
+)
 from repro.data.synthetic import SyntheticDatasetSpec, generate_dataset
 
 
@@ -64,6 +70,67 @@ class TestBuildTreeFromChunks:
     def test_rejects_unnormalised_chunk(self):
         with pytest.raises(ValueError, match="normalise"):
             build_tree_from_chunks([np.full((2, 3), 1.5)])
+
+
+class TestStreamFailurePaths:
+    """A bad chunk mid-stream must not corrupt already-absorbed state."""
+
+    def test_contract_violation_leaves_absorbed_state_intact(self, stream_dataset):
+        halves = np.array_split(stream_dataset.points, 2)
+        builder = TreeStreamBuilder()
+        builder.absorb(halves[0])
+        points_before = builder.n_points
+
+        bad = halves[1].copy()
+        bad[0, 0] = 1.5  # outside the unit box -> contract violation
+        with pytest.raises(ContractError):
+            builder.absorb(bad)
+
+        # The rejected chunk changed nothing...
+        assert builder.n_points == points_before
+        # ...and a subsequent valid chunk still works: the final tree is
+        # identical to a never-interrupted build over the same points.
+        builder.absorb(halves[1])
+        resumed = builder.build()
+        clean = build_tree_from_chunks(halves)
+        assert resumed.n_points == clean.n_points
+        for h in clean.levels:
+            assert _levels_equal(resumed.level(h), clean.level(h))
+
+    def test_dimensionality_mismatch_leaves_absorbed_state_intact(
+        self, stream_dataset
+    ):
+        builder = TreeStreamBuilder()
+        builder.absorb(stream_dataset.points)
+        with pytest.raises(ValueError, match="dimensionality"):
+            builder.absorb(np.zeros((5, 3)))
+        assert builder.n_points == stream_dataset.n_points
+        tree = builder.build()
+        batch = CountingTree(stream_dataset.points)
+        for h in batch.levels:
+            assert _levels_equal(tree.level(h), batch.level(h))
+
+    def test_nan_chunk_rejected_before_mutation(self, stream_dataset):
+        builder = TreeStreamBuilder()
+        builder.absorb(stream_dataset.points)
+        bad = np.full((4, stream_dataset.dimensionality), np.nan)
+        with pytest.raises(ContractError):
+            builder.absorb(bad)
+        assert builder.n_points == stream_dataset.n_points
+
+    def test_build_requires_points(self):
+        with pytest.raises(ValueError, match="no points"):
+            TreeStreamBuilder().build()
+
+    def test_build_reflects_later_chunks(self, stream_dataset):
+        halves = np.array_split(stream_dataset.points, 2)
+        builder = TreeStreamBuilder()
+        builder.absorb(halves[0])
+        partial = builder.build()
+        builder.absorb(halves[1])
+        full = builder.build()
+        assert partial.n_points == len(halves[0])
+        assert full.n_points == stream_dataset.n_points
 
 
 class TestStreamingPipeline:

@@ -2,11 +2,14 @@
 
 Entry points are found syntactically: every ``pool.submit(f, …)`` /
 ``pool.map(f, …)`` call in a module that imports
-``ProcessPoolExecutor`` roots the proof at ``f``.  From the roots the
-pass walks the conservative closure of the shared call graph — call
-edges, referenced callbacks, and *all* methods of every class that is
-instantiated or referenced along the way (an instance that escapes
-into a worker may have any method invoked there).
+``ProcessPoolExecutor`` roots the proof at ``f``, and so does every
+``run_supervised(f, …)`` call — the resilience supervisor forwards its
+worker function to per-slot process pools, so a function dispatched
+through it reaches workers exactly like a raw ``submit``.  From the
+roots the pass walks the conservative closure of the shared call
+graph — call edges, referenced callbacks, and *all* methods of every
+class that is instantiated or referenced along the way (an instance
+that escapes into a worker may have any method invoked there).
 
 Inside that closure, three behaviours break the determinism guarantee
 ``REPRO_JOBS`` relies on (a parallel run must reproduce the serial
@@ -50,6 +53,13 @@ _EXECUTOR_IMPORTS = frozenset(
 )
 
 _DISPATCH_METHODS = frozenset({"submit", "map", "apply_async", "starmap"})
+
+#: Project-level dispatchers whose first argument reaches worker
+#: processes (matched by terminal name, so both ``run_supervised(f, …)``
+#: and ``supervisor.run_supervised(f, …)`` root).  Unlike pool methods
+#: these need no executor import in the *calling* module — the pools
+#: live behind the dispatcher.
+_SUPERVISED_DISPATCHERS = frozenset({"run_supervised"})
 
 #: Mutating methods on module-level containers.
 _MUTATORS = frozenset(
@@ -109,14 +119,13 @@ def find_parallel_entries(project: Project) -> list[ParallelEntry]:
     """Every project function dispatched via a process pool."""
     entries: list[ParallelEntry] = []
     for module in project.modules.values():
-        if not _imports_executor(module):
-            continue
+        pool_dispatch_possible = _imports_executor(module)
         for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and node.args):
+                continue
             if not (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr in _DISPATCH_METHODS
-                and node.args
+                _is_pool_dispatch(node, pool_dispatch_possible)
+                or _is_supervised_dispatch(node)
             ):
                 continue
             target = dotted_name(node.args[0])
@@ -132,6 +141,22 @@ def find_parallel_entries(project: Project) -> list[ParallelEntry]:
                     )
                 )
     return entries
+
+
+def _is_pool_dispatch(node: ast.Call, imports_executor: bool) -> bool:
+    return (
+        imports_executor
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _DISPATCH_METHODS
+    )
+
+
+def _is_supervised_dispatch(node: ast.Call) -> bool:
+    callee = dotted_name(node.func)
+    return (
+        callee is not None
+        and callee.split(".")[-1] in _SUPERVISED_DISPATCHERS
+    )
 
 
 def _imports_executor(module: ModuleInfo) -> bool:

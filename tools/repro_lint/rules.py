@@ -25,6 +25,7 @@ RULES: dict[str, str] = {
     "R006": "no mutable default arguments",
     "R007": "environment access outside repro.env",
     "R008": "direct timing calls outside repro.obs and benchmarks",
+    "R009": "no bare or silently-swallowed except outside repro.resilience",
     "R000": "file could not be parsed",
 }
 
@@ -125,6 +126,7 @@ class PathContext:
     is_env_module: bool
     in_obs: bool
     in_benchmarks: bool
+    in_resilience: bool
 
     @staticmethod
     def classify(path: str) -> "PathContext":
@@ -145,6 +147,7 @@ class PathContext:
             is_env_module=normalized.endswith("/repro/env.py"),
             in_obs="/repro/obs/" in normalized,
             in_benchmarks="benchmarks" in parts[:-1],
+            in_resilience="/repro/resilience/" in normalized,
         )
 
 
@@ -369,6 +372,41 @@ class _RuleVisitor(ast.NodeVisitor):
                 )
         self.generic_visit(node)
 
+    # -- R009: bare / silently-swallowed except -----------------------
+    # Package code must not turn failures into silence: blanket
+    # exception handling is the resilience supervisor's job, where every
+    # caught failure becomes a structured, journaled outcome.  Tests may
+    # swallow (pytest.raises idioms); repro.resilience is the sanctioned
+    # home for broad handlers.
+
+    @property
+    def _except_rule_binds(self) -> bool:
+        return (
+            self.context.in_package
+            and not self.context.is_test
+            and not self.context.in_resilience
+        )
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self._except_rule_binds:
+            if node.type is None:
+                self._add(
+                    node,
+                    "R009",
+                    "bare except: swallows KeyboardInterrupt/SystemExit too "
+                    "(name the exception types; blanket failure handling "
+                    "belongs in repro.resilience)",
+                )
+            if _swallows_silently(node.body):
+                self._add(
+                    node,
+                    "R009",
+                    "exception silently swallowed (handle it, record it, or "
+                    "re-raise; blanket failure handling belongs in "
+                    "repro.resilience)",
+                )
+        self.generic_visit(node)
+
     # -- R002: float equality -----------------------------------------
     # Test files are exempt: the equivalence suite *asserts* exact float
     # equality on purpose (bit-identical reproduction is the claim).
@@ -483,6 +521,19 @@ class _RuleVisitor(ast.NodeVisitor):
                 f"public function {node.name}() is missing a return "
                 "annotation",
             )
+
+
+def _swallows_silently(body: list[ast.stmt]) -> bool:
+    """Handler body that only ``pass``es / ``...``s (drops the error)."""
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )
+        for stmt in body
+    )
 
 
 def _suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
