@@ -16,6 +16,7 @@ import time
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.beta_cluster import find_beta_clusters
 from repro.core.counting_tree import (
     CountingTree,
@@ -95,9 +96,11 @@ def test_incremental_search_matches_reference_tree(benchmark):
         np.testing.assert_array_equal(a.lower, b.lower)
         np.testing.assert_array_equal(a.upper, b.upper)
         np.testing.assert_array_equal(a.relevant, b.relevant)
+    backend = kernels.backend_info()
     emit(
         "perf_regression_search",
-        f"eta={eta} d={d} H={n_resolutions}\n"
+        f"eta={eta} d={d} H={n_resolutions}"
+        f" backend={backend['name']} ({backend['version']})\n"
         f"incremental search {benchmark.stats.stats.min:.4f}s"
         f"   ({len(betas)} beta-clusters, identical to reference tree)",
     )
@@ -123,9 +126,11 @@ def test_fit_labels_unchanged(benchmark):
         points, find_beta_clusters(reference_tree, _ALPHA)
     )
     np.testing.assert_array_equal(result.labels, reference.labels)
+    backend = kernels.backend_info()
     emit(
         "perf_regression_fit",
-        f"eta={eta} d={d} H={n_resolutions}\n"
+        f"eta={eta} d={d} H={n_resolutions}"
+        f" backend={backend['name']} ({backend['version']})\n"
         f"fit {benchmark.stats.stats.min:.4f}s"
         f"   labels identical to reference pipeline"
         f"   ({result.n_clusters} clusters)",

@@ -29,12 +29,16 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import os
 import sys
+from collections.abc import Iterator
 from pathlib import Path
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.beta_cluster import (
     BetaCluster,
     _grow_bounds,
@@ -55,8 +59,47 @@ from repro.core.mrcc import MrCC
 from repro.obs import perf_clock
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 TREE_SPEEDUP_FLOOR_FULL = 2.0
+BETA_COMPILED_SPEEDUP_FLOOR = 5.0
+
+
+@contextlib.contextmanager
+def use_backend(name: str) -> Iterator[kernels.Backend]:
+    """Pin ``REPRO_BACKEND`` to ``name`` for the duration of one arm.
+
+    ``kernels.active_backend`` re-resolves whenever the requested value
+    changes, so flipping the variable is the complete switch.
+    """
+    previous = os.environ.get("REPRO_BACKEND")
+    os.environ["REPRO_BACKEND"] = name
+    try:
+        yield kernels.active_backend()
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_BACKEND", None)
+        else:
+            os.environ["REPRO_BACKEND"] = previous
+
+
+def collect_backends() -> dict[str, dict]:
+    """Metadata plus measured JIT warm-up time per loadable backend.
+
+    Warm-up (numba compilation or the one-off C build) runs here, once,
+    before any timed arm, so the timed runs never include it; the cost
+    is recorded instead of hidden.
+    """
+    rows: dict[str, dict] = {}
+    for name in kernels.available_backends():
+        backend = kernels.get_backend(name)
+        start = perf_clock()
+        kernels.warm_up(backend)
+        rows[name] = {
+            "compiled": backend.compiled,
+            "version": backend.version,
+            "warmup_seconds": perf_clock() - start,
+        }
+    return rows
 
 
 def clustered_points(
@@ -165,8 +208,23 @@ def bench_tree_build(eta: int, d: int, h: int, repeats: int, seed: int) -> dict:
     }
 
 
+def _same_betas(left: list, right: list) -> bool:
+    return len(left) == len(right) and all(
+        np.array_equal(a.lower, b.lower)
+        and np.array_equal(a.upper, b.upper)
+        and np.array_equal(a.relevant, b.relevant)
+        for a, b in zip(left, right)
+    )
+
+
 def bench_beta_search(
-    eta: int, d: int, h: int, repeats: int, seed: int, n_clusters: int = 40
+    eta: int,
+    d: int,
+    h: int,
+    repeats: int,
+    seed: int,
+    backends: dict[str, dict],
+    n_clusters: int = 40,
 ) -> dict:
     # Many clusters make the search restart-heavy, which is where the
     # incremental cursor/exclusion machinery earns its keep.
@@ -174,7 +232,7 @@ def bench_beta_search(
         eta, d, n_clusters=n_clusters, noise_fraction=0.10, seed=seed
     )
     alpha = 1e-10
-    # Both arms search the same pre-built tree (trees are identical by
+    # All arms search the same pre-built tree (trees are identical by
     # the build equivalence), so only the search itself is timed; the
     # usedCell flags are reset between repeats.
     tree = CountingTree(points, n_resolutions=h)
@@ -194,28 +252,47 @@ def bench_beta_search(
         reset_used(reference_tree)
         return reference_find_beta_clusters(reference_tree, alpha)
 
-    incremental_s, betas = best_of(repeats, incremental)
-    reference_s, reference_betas = best_of(repeats, reference)
-    if len(betas) != len(reference_betas) or any(
-        not (
-            np.array_equal(a.lower, b.lower)
-            and np.array_equal(a.upper, b.upper)
-            and np.array_equal(a.relevant, b.relevant)
-        )
-        for a, b in zip(betas, reference_betas)
-    ):
-        raise AssertionError("incremental search differs from the seed search")
-    return {
+    # The seed search arm is a numpy-era yardstick; pin it to the
+    # oracle backend so the reference number means the same everywhere.
+    with use_backend("numpy"):
+        reference_s, reference_betas = best_of(repeats, reference)
+
+    row = {
         "params": {"eta": eta, "d": d, "H": h, "alpha": alpha},
-        "incremental_seconds": incremental_s,
         "reference_seconds": reference_s,
-        "speedup": reference_s / incremental_s,
-        "n_beta_clusters": len(betas),
+        "n_beta_clusters": len(reference_betas),
+        "backends": {},
     }
+    for name in backends:
+        with use_backend(name):
+            incremental_s, betas = best_of(repeats, incremental)
+        if not _same_betas(betas, reference_betas):
+            raise AssertionError(
+                f"{name} search differs from the seed search"
+            )
+        row["backends"][name] = {
+            "incremental_seconds": incremental_s,
+            "speedup": reference_s / incremental_s,
+        }
+    numpy_s = row["backends"]["numpy"]["incremental_seconds"]
+    for name, arm in row["backends"].items():
+        arm["speedup_vs_numpy_incremental"] = numpy_s / arm["incremental_seconds"]
+    return row
 
 
-def bench_fit(eta: int, d: int, h: int, repeats: int, seed: int) -> dict:
-    points = clustered_points(eta, d, n_clusters=8, noise_fraction=0.15, seed=seed)
+def bench_fit(
+    eta: int,
+    d: int,
+    h: int,
+    repeats: int,
+    seed: int,
+    backends: dict[str, dict],
+    reference_repeats: int | None = None,
+    n_clusters: int = 8,
+) -> dict:
+    points = clustered_points(
+        eta, d, n_clusters=n_clusters, noise_fraction=0.15, seed=seed
+    )
     alpha = 1e-10
 
     def optimised():
@@ -228,19 +305,34 @@ def bench_fit(eta: int, d: int, h: int, repeats: int, seed: int) -> dict:
         betas = reference_find_beta_clusters(tree, alpha)
         return build_correlation_clusters(points, betas)
 
-    fit_s, result = best_of(repeats, optimised)
-    reference_s, reference_result = best_of(repeats, reference)
-    labels_match = bool(np.array_equal(result.labels, reference_result.labels))
-    if not labels_match:
-        raise AssertionError("MrCC.fit labels changed versus the reference pipeline")
-    return {
+    with use_backend("numpy"):
+        reference_s, reference_result = best_of(
+            reference_repeats or repeats, reference
+        )
+
+    row = {
         "params": {"eta": eta, "d": d, "H": h, "alpha": alpha},
-        "seconds": fit_s,
         "reference_seconds": reference_s,
-        "speedup": reference_s / fit_s,
-        "n_clusters": result.n_clusters,
-        "labels_match_reference": labels_match,
+        "n_clusters": reference_result.n_clusters,
+        "backends": {},
     }
+    for name in backends:
+        with use_backend(name):
+            fit_s, result = best_of(repeats, optimised)
+        labels_match = bool(
+            np.array_equal(result.labels, reference_result.labels)
+        )
+        if not labels_match:
+            raise AssertionError(
+                f"MrCC.fit labels changed versus the reference pipeline "
+                f"under the {name} backend"
+            )
+        row["backends"][name] = {
+            "seconds": fit_s,
+            "speedup": reference_s / fit_s,
+            "labels_match_reference": labels_match,
+        }
+    return row
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -260,16 +352,34 @@ def main(argv: list[str] | None = None) -> int:
         repeats = 1
         tree_args = dict(eta=20_000, d=10, h=4, seed=7)
         search_args = dict(eta=8_000, d=8, h=4, seed=11, n_clusters=10)
-        fit_args = dict(eta=8_000, d=8, h=4, seed=13)
+        fit_workloads = [dict(eta=8_000, d=8, h=4, seed=13)]
         speedup_floor = 1.0
+        beta_floor = None
     else:
         profile = "full"
         repeats = 3
-        # The acceptance workload: H=5, d=15, eta=100k.
+        # The acceptance workloads: H=5, d=15, eta=100k (plus the
+        # production-scale 1M-point fit, timed once per backend).
         tree_args = dict(eta=100_000, d=15, h=5, seed=7)
         search_args = dict(eta=100_000, d=15, h=5, seed=11, n_clusters=40)
-        fit_args = dict(eta=50_000, d=10, h=4, seed=13)
+        fit_workloads = [
+            dict(eta=50_000, d=10, h=4, seed=13),
+            dict(
+                eta=1_000_000, d=15, h=5, seed=17, n_clusters=20,
+                repeats=1, reference_repeats=1,
+            ),
+        ]
         speedup_floor = TREE_SPEEDUP_FLOOR_FULL
+        beta_floor = BETA_COMPILED_SPEEDUP_FLOOR
+
+    backends = collect_backends()
+    print("backends:", flush=True)
+    for backend_name, info in backends.items():
+        print(
+            f"  {backend_name:<6} version {info['version']}"
+            f"  warm-up {info['warmup_seconds']:.3f}s"
+        )
+    compiled = [n for n, info in backends.items() if info["compiled"]]
 
     workloads = {}
     name = "tree_build/h{h}_d{d}_eta{eta}".format(**tree_args)
@@ -284,23 +394,34 @@ def main(argv: list[str] | None = None) -> int:
 
     name = "beta_search/h{h}_d{d}_eta{eta}".format(**search_args)
     print(f"[{name}] ...", flush=True)
-    workloads[name] = row = bench_beta_search(repeats=repeats, **search_args)
-    print(
-        f"  incremental {row['incremental_seconds']:.3f}s"
-        f"  seed search {row['reference_seconds']:.3f}s"
-        f"  speedup {row['speedup']:.2f}x"
-        f"  ({row['n_beta_clusters']} beta-clusters)"
+    workloads[name] = row = bench_beta_search(
+        repeats=repeats, backends=backends, **search_args
     )
+    print(f"  seed search {row['reference_seconds']:.3f}s")
+    for backend_name, arm in row["backends"].items():
+        print(
+            f"  {backend_name:<6} incremental {arm['incremental_seconds']:.3f}s"
+            f"  speedup {arm['speedup']:.2f}x"
+            f"  vs numpy incremental"
+            f" {arm['speedup_vs_numpy_incremental']:.2f}x"
+        )
+    beta_row = row
 
-    name = "fit/h{h}_d{d}_eta{eta}".format(**fit_args)
-    print(f"[{name}] ...", flush=True)
-    workloads[name] = row = bench_fit(repeats=repeats, **fit_args)
-    print(
-        f"  fit {row['seconds']:.3f}s"
-        f"  reference {row['reference_seconds']:.3f}s"
-        f"  speedup {row['speedup']:.2f}x"
-        f"  labels match: {row['labels_match_reference']}"
-    )
+    for fit_args in fit_workloads:
+        fit_args = dict(fit_args)
+        fit_repeats = fit_args.pop("repeats", repeats)
+        name = "fit/h{h}_d{d}_eta{eta}".format(**fit_args)
+        print(f"[{name}] ...", flush=True)
+        workloads[name] = row = bench_fit(
+            repeats=fit_repeats, backends=backends, **fit_args
+        )
+        print(f"  reference {row['reference_seconds']:.3f}s")
+        for backend_name, arm in row["backends"].items():
+            print(
+                f"  {backend_name:<6} fit {arm['seconds']:.3f}s"
+                f"  speedup {arm['speedup']:.2f}x"
+                f"  labels match: {arm['labels_match_reference']}"
+            )
 
     obs_eta = 10_000 if args.quick else 100_000
     name = f"obs_overhead/eta{obs_eta}"
@@ -317,20 +438,35 @@ def main(argv: list[str] | None = None) -> int:
         "schema": SCHEMA_VERSION,
         "profile": profile,
         "generated_by": "scripts/perf_baseline.py",
+        "backends": backends,
         "workloads": workloads,
     }
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
 
+    failed = False
     if tree_speedup < speedup_floor:
         print(
             f"REGRESSION: tree build speedup {tree_speedup:.2f}x is below the"
             f" {speedup_floor:.1f}x floor",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    if beta_floor is not None and compiled:
+        best = max(
+            beta_row["backends"][n]["speedup_vs_numpy_incremental"]
+            for n in compiled
+        )
+        if best < beta_floor:
+            print(
+                f"REGRESSION: compiled beta-search speedup {best:.2f}x over"
+                f" the numpy incremental path is below the"
+                f" {beta_floor:.1f}x floor",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import obs
+from repro.core import kernels
 from repro.core.contracts import check_array
 from repro.core.counting_tree import CountingTree, Level
 from repro.types import BoolArray, FloatArray, IntArray
@@ -30,40 +31,23 @@ from repro.types import BoolArray, FloatArray, IntArray
 def level_responses(level: Level) -> IntArray:
     """Convolved value of every cell at ``level`` (static per tree).
 
-    Neighbour counts are gathered with one vectorised sorted-key join
-    per (axis, side); empty neighbours (unmaterialised space or the
-    grid border) contribute zero, like zero-padding a convolution.
+    Delegates to the active compute backend
+    (:func:`repro.core.kernels.active_backend`): the kernel produces
+    responses in key order over the level's structure-of-arrays view
+    and the result is scattered back into row order.  Empty neighbours
+    (unmaterialised space or the grid border) contribute zero, like
+    zero-padding a convolution; every backend is bit-identical here.
     """
-    m, d = level.coords.shape
+    m = level.n_cells
     obs.incr("convolution.responses")
     obs.incr("convolution.cells", m)
     obs.incr(f"convolution.level{level.h}.responses")
     obs.incr(f"search.level{level.h}.cells_visited", m)
-    responses = (2 * d) * level.n.astype(np.int64)
-    if m <= 1:
-        # A single cell has no materialised neighbours to subtract.
-        return responses
-    coords = level.coords
-    limit = (1 << level.h) - 1
-    counts = level.n
-    # One scratch buffer for all 2d probes; each axis's column is
-    # restored after its two probes instead of re-copying the matrix.
-    shifted = coords.copy()
-    for axis in range(d):
-        column = coords[:, axis]
-        for delta in (-1, 1):
-            shifted[:, axis] = column + delta
-            valid = (
-                (shifted[:, axis] >= 0) & (shifted[:, axis] <= limit)
-            )
-            if not np.any(valid):
-                continue
-            rows = level.rows_of(shifted[valid])
-            found = rows >= 0
-            targets = np.flatnonzero(valid)[found]
-            responses[targets] -= counts[rows[found]]
-        shifted[:, axis] = column
-    return responses
+    soa = level.soa()
+    backend = kernels.active_backend()
+    key_ordered = backend.level_responses(soa)
+    result: IntArray = soa.to_row_order(key_ordered)
+    return result
 
 
 def cell_bounds(level: Level) -> tuple[FloatArray, FloatArray]:
@@ -113,32 +97,24 @@ def overlap_rows(
         return np.empty(0, dtype=np.int64)
     lo = np.argmax(ok, axis=0)
     hi = lo + widths - 1
-    binding = np.flatnonzero((lo > 0) | (hi < n_coords - 1))
-    if binding.size == 0:
+    binding = (lo > 0) | (hi < n_coords - 1)
+    if not np.any(binding):
         return np.arange(level.n_cells, dtype=np.int64)
 
-    coords = level.coords
-    if lo[0] > 0 or hi[0] < n_coords - 1:
+    soa = level.soa()
+    if binding[0]:
         # Axis 0 binds: the key order is lexicographic, so its cells
-        # sit in one contiguous run of the sorted-key index.
+        # sit in one contiguous run of the sorted rows.
         axis0 = level.axis0_in_key_order()
-        start = np.searchsorted(axis0, lo[0], side="left")
-        stop = np.searchsorted(axis0, hi[0], side="right")
-        assert level._sort_order is not None
-        candidates = level._sort_order[start:stop]
-        if candidates.size == 0:
-            return np.empty(0, dtype=np.int64)
-        hit = np.ones(candidates.shape[0], dtype=bool)
-        for axis in binding[1:] if binding[0] == 0 else binding:
-            column = coords[candidates, axis]
-            hit &= (column >= lo[axis]) & (column <= hi[axis])
-        return candidates[hit]
-
-    hit = np.ones(coords.shape[0], dtype=bool)
-    for axis in binding:
-        column = coords[:, axis]
-        hit &= (column >= lo[axis]) & (column <= hi[axis])
-    return np.flatnonzero(hit)
+        start = int(np.searchsorted(axis0, lo[0], side="left"))
+        stop = int(np.searchsorted(axis0, hi[0], side="right"))
+    else:
+        start, stop = 0, soa.n_cells
+    if start >= stop:
+        return np.empty(0, dtype=np.int64)
+    backend = kernels.active_backend()
+    positions = backend.box_scan(soa, lo, hi, start, stop)
+    return soa.rows_of_positions(positions)
 
 
 def convolve_level(

@@ -29,13 +29,18 @@ Algorithm 1 lines 4-10.
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro import obs
+from repro import env, obs
 from repro.core.contracts import ContractError, check_array
 from repro.types import AnyArray, BoolArray, FloatArray, IntArray
+
+if TYPE_CHECKING:
+    from repro.core.kernels.soa import LevelSoA
 
 MIN_RESOLUTIONS = 3
 """Algorithm 1 requires ``H >= 3``."""
@@ -46,6 +51,11 @@ MAX_RESOLUTIONS = 32
 
 _KEY_COORD_MAX = (1 << 32) - 1
 """Largest coordinate the big-endian ``>u4`` key packing can hold."""
+
+SHARD_MIN_POINTS = 200_000
+"""Below this many points the env-driven sharded build stays serial:
+the process fan-out costs more than the binning it parallelises.  An
+explicit ``n_jobs`` argument overrides the floor."""
 
 
 def void_keys(coords: IntArray) -> AnyArray:
@@ -104,6 +114,7 @@ class Level:
     _sorted_keys: AnyArray | None = field(default=None, repr=False)
     _sort_order: IntArray | None = field(default=None, repr=False)
     _axis0_sorted: IntArray | None = field(default=None, repr=False)
+    _soa: LevelSoA | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self._sorted_keys is None:
@@ -155,6 +166,17 @@ class Level:
             )
         return self._axis0_sorted
 
+    def soa(self) -> LevelSoA:
+        """Key-sorted structure-of-arrays kernel view of this level.
+
+        Built lazily and cached; the level's own arrays are aliased
+        without copies when they are already in key order (true for
+        every tree builder in the package).
+        """
+        from repro.core.kernels.soa import level_soa
+
+        return level_soa(self)
+
     def count_at(self, coords: IntArray) -> int:
         """Point count of the cell at ``coords`` (0 for empty cells)."""
         row = self.row_of(coords)
@@ -195,6 +217,13 @@ class CountingTree:
     n_resolutions:
         The paper's ``H``; levels ``1 .. H-1`` are materialised (level 0
         is the root hyper-cube, kept implicitly).  Must be ≥ 3.
+    n_jobs:
+        Worker count for the sharded build.  ``None`` (default) reads
+        ``REPRO_JOBS`` and shards only when the dataset is large enough
+        to amortise the process fan-out (``SHARD_MIN_POINTS``); an
+        explicit value ≥ 2 always shards.  The sharded build reduces
+        per-shard cell aggregates in deterministic shard order and is
+        bit-identical to the serial build.
 
     Notes
     -----
@@ -204,7 +233,12 @@ class CountingTree:
     ``O(H η d)``, matching Algorithm 1's stated complexity.
     """
 
-    def __init__(self, points: FloatArray, n_resolutions: int = 4):
+    def __init__(
+        self,
+        points: FloatArray,
+        n_resolutions: int = 4,
+        n_jobs: int | None = None,
+    ):
         points = np.asarray(points, dtype=np.float64)
         check_array("points", points, dtype=np.float64, ndim=2, unit_box=True)
         if points.shape[0] == 0:
@@ -217,13 +251,31 @@ class CountingTree:
                 f"coordinates reach 2**n_resolutions - 1 and must fit "
                 f"the uint32 cell-key packing"
             )
+        if n_jobs is not None and n_jobs < 1:
+            raise ValueError("n_jobs must be a positive worker count")
 
         self._n_points, self._d = points.shape
         self._H = int(n_resolutions)
 
         with obs.span("tree.build"):
-            base = bin_points(points, self._H)
-            self._levels = aggregate_levels(base, self._H)
+            if n_jobs is not None:
+                jobs = n_jobs
+            elif multiprocessing.parent_process() is None:
+                jobs = env.jobs_from_env()
+            else:
+                # Already inside a worker process (e.g. an experiment
+                # cell): never nest a process pool implicitly.
+                jobs = 1
+            shard = jobs > 1 and (
+                n_jobs is not None or self._n_points >= SHARD_MIN_POINTS
+            )
+            if shard:
+                from repro.core.streaming import sharded_levels
+
+                self._levels = sharded_levels(points, self._H, jobs)
+            else:
+                base = bin_points(points, self._H)
+                self._levels = aggregate_levels(base, self._H)
 
     @property
     def n_resolutions(self) -> int:
@@ -279,33 +331,40 @@ def bin_points(points: FloatArray, n_resolutions: int) -> IntArray:
     return base
 
 
-def aggregate_levels(base: IntArray, n_resolutions: int) -> dict[int, Level]:
-    """Build all levels from one binning pass, coarse levels by aggregation.
+LevelArrays = tuple[IntArray, IntArray, IntArray]
+"""One level's structure-of-arrays cell aggregate: key-sorted
+``(coords, counts, half_counts)``.  The canonical exchange format
+between the builders — the streaming store, the shard workers and the
+merge all speak it."""
+
+
+def level_arrays(base: IntArray, n_resolutions: int) -> dict[int, LevelArrays]:
+    """Per-level SoA cell aggregates from binned coordinates (pure).
 
     The η points are grouped into cells once, at half-resolution
     ``2^H``; level ``H-1`` down to ``1`` are then derived from the
-    next-finer *cells* — right-shift the coordinates, sum ``n`` over
-    unique parents, and credit ``n`` to ``half_counts[j]`` where the
-    finer coordinate's parity along ``e_j`` is even (the finer cell sits
-    in the lower half of its parent).  Every ``np.unique`` after the
-    first sorts at most ``cells`` rows, not ``η``, so the per-point work
-    is one binning pass plus one sort.
+    next-finer *cells* — right-shift the coordinates, sum counts over
+    unique parents, and credit the count to ``half_counts[j]`` where
+    the finer coordinate's parity along ``e_j`` is even (the finer
+    cell sits in the lower half of its parent).  Every ``np.unique``
+    after the first sorts at most ``cells`` rows, not ``η``, so the
+    per-point work is one binning pass plus one sort.
 
     Grouping sorts :func:`void_keys` (an index argsort over packed
-    big-endian keys) instead of ``np.unique(axis=0)`` (a payload sort of
-    wide void rows), which is the bulk of the constant-factor win; the
-    resulting numeric-lexicographic cell order coincides with the
-    seed's, and because cells come out already key-sorted, each level's
-    lookup index (`_sorted_keys`/`_sort_order`) is obtained for free.
-    Counts and half-space counts are element-identical to
-    :func:`_reference_build`; the property tests assert it.
+    big-endian keys) instead of ``np.unique(axis=0)`` (a payload sort
+    of wide void rows), and the resulting numeric-lexicographic cell
+    order is canonical: any split of the points into chunks yields,
+    after :func:`merge_level_arrays`, element-identical arrays.  This
+    function is deliberately free of observability and environment
+    access — it is the body shard workers run, and workers must be
+    pure.
     """
     fine_coords, order, starts, _ = _group_rows(base)
     fine_counts = np.diff(np.append(starts, base.shape[0]))
 
-    levels: dict[int, Level] = {}
+    arrays: dict[int, LevelArrays] = {}
     for h in range(n_resolutions - 1, 0, -1):
-        cells, order, starts, keys = _group_rows(fine_coords >> 1)
+        cells, order, starts, _ = _group_rows(fine_coords >> 1)
         counts = np.add.reduceat(fine_counts[order], starts)
         # A finer cell sits in the lower half of its parent along e_j
         # exactly when its coordinate's parity along e_j is even.
@@ -313,18 +372,61 @@ def aggregate_levels(base: IntArray, n_resolutions: int) -> dict[int, Level]:
             (fine_coords[order] & 1) == 0, fine_counts[order][:, None], 0
         )
         half_counts = np.add.reduceat(in_lower_half, starts, axis=0)
-        levels[h] = Level(
-            h=h,
-            coords=cells,
-            n=counts,
-            half_counts=half_counts,
-            used=np.zeros(cells.shape[0], dtype=bool),
-            _sorted_keys=keys,
-            _sort_order=np.arange(cells.shape[0], dtype=np.int64),
-        )
-        obs.incr(f"tree.level{h}.cells", int(cells.shape[0]))
+        arrays[h] = (cells, counts, half_counts)
         fine_coords, fine_counts = cells, counts
-    return {h: levels[h] for h in range(1, n_resolutions)}
+    return {h: arrays[h] for h in range(1, n_resolutions)}
+
+
+def merge_level_arrays(left: LevelArrays, right: LevelArrays) -> LevelArrays:
+    """Key-grouped sum of two SoA aggregates of the same level (pure).
+
+    Cell counts and half-space counts are sums over points, so merging
+    two disjoint point sets' aggregates is an integer sum grouped by
+    cell key; the output is again in canonical key order.  The merge is
+    associative and commutative, which is what lets the sharded build
+    reduce partial trees in deterministic shard order regardless of
+    worker completion order.
+    """
+    coords = np.concatenate([left[0], right[0]])
+    counts = np.concatenate([left[1], right[1]])
+    halves = np.concatenate([left[2], right[2]])
+    cells, order, starts, _ = _group_rows(coords)
+    merged_counts = np.add.reduceat(counts[order], starts)
+    merged_halves = np.add.reduceat(halves[order], starts, axis=0)
+    return cells, merged_counts, merged_halves
+
+
+def level_from_arrays(h: int, arrays: LevelArrays) -> Level:
+    """Wrap one key-sorted SoA aggregate as a ``Level``.
+
+    The rows are already in key order, so the lookup index is the
+    identity permutation and no argsort happens.
+    """
+    cells, counts, halves = arrays
+    return Level(
+        h=h,
+        coords=np.ascontiguousarray(cells),
+        n=np.ascontiguousarray(counts),
+        half_counts=np.ascontiguousarray(halves),
+        used=np.zeros(cells.shape[0], dtype=bool),
+        _sorted_keys=void_keys(cells),
+        _sort_order=np.arange(cells.shape[0], dtype=np.int64),
+    )
+
+
+def aggregate_levels(base: IntArray, n_resolutions: int) -> dict[int, Level]:
+    """Build all levels from one binning pass, coarse levels by aggregation.
+
+    Thin observability wrapper over :func:`level_arrays` — cell order,
+    counts and half-space counts are element-identical to
+    :func:`_reference_build`; the property tests assert it.
+    """
+    arrays = level_arrays(base, n_resolutions)
+    levels: dict[int, Level] = {}
+    for h in range(1, n_resolutions):
+        levels[h] = level_from_arrays(h, arrays[h])
+        obs.incr(f"tree.level{h}.cells", levels[h].n_cells)
+    return levels
 
 
 def _group_rows(

@@ -22,6 +22,7 @@ import numpy as np
 from scipy import stats
 
 from repro import obs
+from repro.core import kernels
 from repro.core.counting_tree import CountingTree
 from repro.types import BoolArray, FloatArray, IntArray
 
@@ -105,36 +106,46 @@ def neighborhood_counts(tree: CountingTree, h: int, row: int) -> NeighborhoodCou
     parent_row = tree.parent_row(h, row)
     bits = tree.loc_bits(h, row)
 
-    d = tree.dimensionality
-    parent_n = int(parent_level.n[parent_row])
+    soa = parent_level.soa()
+    backend = kernels.active_backend()
+    center, total = backend.six_region(
+        soa, soa.position_of_row(parent_row), bits
+    )
+    # Regions beyond the space border cannot receive points and are not
+    # analyzed; an in-grid but empty neighbour still counts as two
+    # analyzed (zero-count) regions.
+    coords = parent_level.coords[parent_row]
     parent_limit = (1 << parent_level.h) - 1
-    center = np.empty(d, dtype=np.int64)
-    total = np.empty(d, dtype=np.int64)
-    probability = np.empty(d, dtype=np.float64)
-    for axis in range(d):
-        lower_row, upper_row = parent_level.neighbor_rows(parent_row, axis)
-        neighbors = 0
-        if lower_row >= 0:
-            neighbors += int(parent_level.n[lower_row])
-        if upper_row >= 0:
-            neighbors += int(parent_level.n[upper_row])
-        total[axis] = parent_n + neighbors
-        half = int(parent_level.half_counts[parent_row, axis])
-        center[axis] = half if bits[axis] == 0 else parent_n - half
-        # Regions beyond the space border cannot receive points and are
-        # not analyzed; an in-grid but empty neighbour still counts as
-        # two analyzed (zero-count) regions.
-        coordinate = int(parent_level.coords[parent_row, axis])
-        regions = 6 - 2 * ((coordinate == 0) + (coordinate == parent_limit))
-        probability[axis] = 1.0 / regions
-    return NeighborhoodCounts(center=center, total=total, probability=probability)
+    at_border = (coords == 0).astype(np.int64) + (coords == parent_limit)
+    probability = 1.0 / (6 - 2 * at_border)
+    return NeighborhoodCounts(
+        center=center,
+        total=total,
+        probability=probability.astype(np.float64),
+    )
 
 
 def significant_axes(
     counts: NeighborhoodCounts, alpha: float
 ) -> BoolArray:
-    """Boolean mask of axes where ``cP_j`` beats the critical value."""
+    """Boolean mask of axes where ``cP_j`` beats the critical value.
+
+    The active backend computes the critical values; axes the compiled
+    kernels flag as borderline (tail sum within the guard band of
+    ``alpha``) are re-adjudicated with the scipy oracle, so the
+    decision is bit-identical to the numpy backend on every axis.
+    """
     obs.incr("search.tests")
     obs.incr("search.tests.axes", int(counts.center.shape[0]))
-    theta = critical_values(counts.total, alpha, probability=counts.probability)
+    backend = kernels.active_backend()
+    theta, flags = backend.binom_thetas(
+        counts.total, counts.probability, alpha
+    )
+    borderline = np.flatnonzero(flags)
+    if borderline.size:
+        theta[borderline] = critical_values(
+            counts.total[borderline],
+            alpha,
+            probability=counts.probability[borderline],
+        )
     return counts.center > theta

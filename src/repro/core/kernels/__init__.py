@@ -1,0 +1,229 @@
+"""Pluggable compute backends for the MrCC hot-path kernels.
+
+The three measured bottlenecks of a fit — the Laplacian convolution
+responses, the six-region binomial significance test, and the β-cluster
+box-exclusion scan — run through one of several interchangeable
+backends, all operating on the structure-of-arrays level views of
+:mod:`repro.core.kernels.soa`:
+
+``numpy``
+    The vectorised reference implementation and the reproduction's
+    **bit-identity oracle** (:mod:`repro.core.kernels.reference`).
+    Always available; always correct.
+``numba``
+    ``@njit(cache=True)`` over the loop bodies in
+    :mod:`repro.core.kernels.loops`; available when the optional
+    ``[speed]`` extra is installed.
+``cext``
+    The same loop bodies as C, compiled on first use with the system
+    C compiler (:mod:`repro.core.kernels.cext_backend`).
+
+Selection is driven by ``REPRO_BACKEND`` (parsed by
+:func:`repro.env.backend_from_env`): ``auto`` — the default — picks the
+first available of numba, cext, numpy; naming a backend demands exactly
+that one and raises a :class:`BackendUnavailableError` carrying the
+probe's reason when it cannot load.  The oracle policy is structural:
+compiled backends either compute integer quantities exactly (responses,
+region counts, scans) or flag borderline binomial tails back to the
+scipy oracle, so every backend yields bit-identical clusterings and
+obs counter streams — the cross-backend equivalence suite and the
+golden traces assert it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro import env
+from repro.core.kernels import cext_backend, numba_backend, reference
+from repro.core.kernels.soa import LevelSoA, level_soa
+from repro.types import FloatArray, IntArray
+
+__all__ = [
+    "Backend",
+    "BackendUnavailableError",
+    "LevelSoA",
+    "active_backend",
+    "available_backends",
+    "backend_info",
+    "get_backend",
+    "level_soa",
+    "reset_backends",
+    "warm_up",
+]
+
+
+class BackendUnavailableError(RuntimeError):
+    """A named backend cannot load on this machine (reason included)."""
+
+
+class _SixRegionKernel(Protocol):
+    def __call__(
+        self, soa: LevelSoA, position: int, bits: IntArray
+    ) -> tuple[IntArray, IntArray]: ...
+
+
+class _BinomThetasKernel(Protocol):
+    def __call__(
+        self, totals: IntArray, probs: FloatArray, alpha: float
+    ) -> tuple[IntArray, IntArray]: ...
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One loaded backend: metadata plus the four kernel entry points."""
+
+    name: str
+    compiled: bool
+    version: str
+    level_responses: Callable[[LevelSoA], IntArray]
+    box_scan: Callable[[LevelSoA, IntArray, IntArray, int, int], IntArray]
+    six_region: _SixRegionKernel
+    binom_thetas: _BinomThetasKernel
+
+
+def _load_numpy() -> Backend:
+    return Backend(
+        name=reference.NAME,
+        compiled=reference.COMPILED,
+        version=reference.version(),
+        level_responses=reference.level_responses,
+        box_scan=reference.box_scan,
+        six_region=reference.six_region,
+        binom_thetas=reference.binom_thetas,
+    )
+
+
+def _load_optional(loader: Callable[[], dict[str, object]]) -> Backend:
+    spec = loader()
+    return Backend(**spec)  # type: ignore[arg-type]
+
+
+_LOADERS: dict[str, Callable[[], Backend]] = {
+    "numpy": _load_numpy,
+    "numba": lambda: _load_optional(numba_backend.load),
+    "cext": lambda: _load_optional(cext_backend.load),
+}
+
+_AUTO_ORDER = ("numba", "cext", "numpy")
+
+_loaded: dict[str, Backend] = {}
+_probe_failures: dict[str, str] = {}
+_active: tuple[str, Backend] | None = None
+
+
+def get_backend(name: str) -> Backend:
+    """Load backend ``name``, raising with the probe reason on failure."""
+    if name in _loaded:
+        return _loaded[name]
+    if name not in _LOADERS:
+        raise BackendUnavailableError(
+            f"unknown backend {name!r}; expected one of "
+            f"{'/'.join(sorted(_LOADERS))}"
+        )
+    if name in _probe_failures:
+        raise BackendUnavailableError(
+            f"backend {name!r} is unavailable: {_probe_failures[name]}"
+        )
+    try:
+        backend = _LOADERS[name]()
+    except ImportError as error:
+        _probe_failures[name] = str(error) or "import failed"
+        raise BackendUnavailableError(
+            f"backend {name!r} is unavailable: {_probe_failures[name]}"
+        ) from error
+    _loaded[name] = backend
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends that load on this machine, probe order."""
+    names = []
+    for name in _AUTO_ORDER:
+        try:
+            get_backend(name)
+        except BackendUnavailableError:
+            continue
+        names.append(name)
+    return tuple(names)
+
+
+def active_backend() -> Backend:
+    """The backend the ``REPRO_BACKEND`` knob selects (cached).
+
+    ``auto`` degrades along numba → cext → numpy; an explicit name must
+    load or the error names the backend and the reason.  The resolution
+    is cached per requested value, so flipping the environment variable
+    mid-process takes effect on the next kernel call.
+    """
+    global _active
+    requested = env.backend_from_env()
+    if _active is not None and _active[0] == requested:
+        return _active[1]
+    if requested == "auto":
+        backend: Backend | None = None
+        for name in _AUTO_ORDER:
+            try:
+                backend = get_backend(name)
+            except BackendUnavailableError:
+                continue
+            break
+        assert backend is not None  # numpy always loads
+    else:
+        backend = get_backend(requested)
+    _active = (requested, backend)
+    return backend
+
+
+def reset_backends() -> None:
+    """Forget probe results and the active selection (test hook)."""
+    global _active
+    _active = None
+    _loaded.clear()
+    _probe_failures.clear()
+
+
+def backend_info() -> dict[str, object]:
+    """Metadata about the active backend, for benchmarks and traces."""
+    backend = active_backend()
+    return {
+        "requested": env.backend_from_env(),
+        "name": backend.name,
+        "compiled": backend.compiled,
+        "version": backend.version,
+        "available": list(available_backends()),
+    }
+
+
+def warm_up(backend: Backend) -> None:
+    """Exercise every kernel once on tiny inputs (JIT warm-up).
+
+    Benchmarks call this before timing so one-off compilation cost is
+    reported separately instead of polluting the measured runs.
+    """
+    from repro.core.counting_tree import void_keys
+
+    coords = np.array([[0, 0], [0, 1], [1, 1]], dtype=np.int64)
+    counts = np.array([2, 3, 4], dtype=np.int64)
+    half = np.array([[1, 1], [2, 1], [2, 2]], dtype=np.int64)
+    soa = LevelSoA(
+        h=1, coords=coords, counts=counts, half_counts=half,
+        order=None, keys=void_keys(coords),
+    )
+    backend.level_responses(soa)
+    backend.box_scan(
+        soa,
+        np.zeros(2, dtype=np.int64),
+        np.ones(2, dtype=np.int64),
+        0,
+        3,
+    )
+    backend.six_region(soa, 1, np.array([0, 1], dtype=np.int64))
+    backend.binom_thetas(
+        np.array([30, 0], dtype=np.int64),
+        np.array([1.0 / 6.0, 1.0 / 6.0], dtype=np.float64),
+        1e-10,
+    )

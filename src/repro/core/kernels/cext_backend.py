@@ -1,0 +1,334 @@
+"""The cext backend: the loop kernels as C, built with the system cc.
+
+A fallback compiled backend for machines without numba but with any C
+compiler on ``PATH`` (gcc/cc/clang): the kernel bodies from
+:mod:`repro.core.kernels.loops` are transliterated statement for
+statement into C, compiled once into a content-addressed shared object
+under the system temporary directory, and bound through :mod:`ctypes`.
+Everything about the algorithms — the sorted merge joins, the
+lexicographic binary search, the guard-banded binomial tail — is
+identical to the loops module; only the executor differs.
+
+Compilation failures of any kind (no compiler, sandboxed tmpdir,
+unlinkable toolchain) make the backend report itself unavailable with
+the captured reason; they never propagate to callers, because ``auto``
+selection must degrade to numpy silently-but-observably.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.kernels.soa import LevelSoA
+from repro.types import FloatArray, IntArray
+
+NAME = "cext"
+COMPILED = True
+
+_C_SOURCE = r"""
+#include <stdint.h>
+#include <math.h>
+
+#define SF_TOLERANCE 1e-18
+#define SF_GUARD_BAND 1e-6
+
+/* Lexicographic compare of row j against row i with column `axis`
+ * shifted by `delta`; early-exits at the first differing column. */
+static int cmp_shifted(const int64_t *coords, int64_t d, int64_t j,
+                       int64_t i, int64_t axis, int64_t delta) {
+    for (int64_t k = 0; k < d; k++) {
+        int64_t b = coords[i * d + k];
+        if (k == axis) b += delta;
+        int64_t a = coords[j * d + k];
+        if (a < b) return -1;
+        if (a > b) return 1;
+    }
+    return 0;
+}
+
+/* One +1 merge per axis settles both deltas: the face-neighbour
+ * relation is symmetric, so a match debits both rows at once. */
+void level_responses(const int64_t *coords, const int64_t *counts,
+                     int64_t m, int64_t d, int64_t limit, int64_t *out) {
+    for (int64_t i = 0; i < m; i++) out[i] = 2 * d * counts[i];
+    for (int64_t axis = 0; axis < d; axis++) {
+        int64_t j = 0;
+        for (int64_t i = 0; i < m; i++) {
+            int64_t shifted = coords[i * d + axis] + 1;
+            if (shifted > limit) continue;
+            while (j < m && cmp_shifted(coords, d, j, i, axis, 1) < 0)
+                j++;
+            if (j >= m) break;
+            if (cmp_shifted(coords, d, j, i, axis, 1) == 0) {
+                out[i] -= counts[j];
+                out[j] -= counts[i];
+            }
+        }
+    }
+}
+
+int64_t box_scan(const int64_t *coords, int64_t m, int64_t d,
+                 const int64_t *lo, const int64_t *hi,
+                 int64_t start, int64_t stop, int64_t *out) {
+    if (stop > m) stop = m;
+    if (start < 0) start = 0;
+    int64_t found = 0;
+    for (int64_t position = start; position < stop; position++) {
+        int inside = 1;
+        for (int64_t axis = 0; axis < d; axis++) {
+            int64_t c = coords[position * d + axis];
+            if (c < lo[axis] || c > hi[axis]) { inside = 0; break; }
+        }
+        if (inside) out[found++] = position;
+    }
+    return found;
+}
+
+/* Lower-bound lexicographic binary search for row `position` with
+ * column `axis` replaced by `target`; returns the row index or -1. */
+static int64_t find_shifted(const int64_t *coords, int64_t m, int64_t d,
+                            int64_t position, int64_t axis, int64_t target) {
+    int64_t low = 0, high = m;
+    while (low < high) {
+        int64_t mid = (low + high) / 2;
+        int cmp = 0;
+        for (int64_t k = 0; k < d; k++) {
+            int64_t b = coords[position * d + k];
+            if (k == axis) b = target;
+            int64_t a = coords[mid * d + k];
+            if (a < b) { cmp = -1; break; }
+            if (a > b) { cmp = 1; break; }
+        }
+        if (cmp < 0) low = mid + 1; else high = mid;
+    }
+    if (low >= m) return -1;
+    for (int64_t k = 0; k < d; k++) {
+        int64_t b = coords[position * d + k];
+        if (k == axis) b = target;
+        if (coords[low * d + k] != b) return -1;
+    }
+    return low;
+}
+
+void six_region(const int64_t *coords, const int64_t *counts,
+                const int64_t *half_counts, int64_t m, int64_t d,
+                int64_t limit, int64_t position, const int64_t *bits,
+                int64_t *center, int64_t *total) {
+    int64_t parent_n = counts[position];
+    for (int64_t axis = 0; axis < d; axis++) {
+        int64_t neighbors = 0;
+        for (int64_t delta = -1; delta <= 1; delta += 2) {
+            int64_t target = coords[position * d + axis] + delta;
+            if (target < 0 || target > limit) continue;
+            int64_t row = find_shifted(coords, m, d, position, axis, target);
+            if (row >= 0) neighbors += counts[row];
+        }
+        total[axis] = parent_n + neighbors;
+        int64_t half = half_counts[position * d + axis];
+        center[axis] = (bits[axis] == 0) ? half : parent_n - half;
+    }
+}
+
+/* Upper tail P(X > t) for X ~ Binomial(n, p): log-space first term
+ * plus multiplicative recurrence, terminating past the mode. */
+static double binom_sf(int64_t n, double p, int64_t t) {
+    if (t < 0) return 1.0;
+    if (t >= n) return 0.0;
+    double q = 1.0 - p;
+    int64_t k = t + 1;
+    double log_term = lgamma((double)n + 1.0) - lgamma((double)k + 1.0)
+                    - lgamma((double)(n - k) + 1.0)
+                    + (double)k * log(p) + (double)(n - k) * log(q);
+    /* A subnormal first term would poison the recurrence (relative
+     * error ~1e-6); left of the mode that means the left tail is
+     * negligible and the upper tail is 1.0 to the last bit. */
+    if (log_term < -708.0 && (double)k <= floor(((double)n + 1.0) * p))
+        return 1.0;
+    double term = exp(log_term);
+    double total = term;
+    double mean = (double)n * p;
+    while (k < n) {
+        term *= (double)(n - k) * p / (((double)k + 1.0) * q);
+        k += 1;
+        total += term;
+        if (term <= total * SF_TOLERANCE && (double)k > mean) break;
+    }
+    return total;
+}
+
+void binom_thetas(const int64_t *totals, const double *probs, int64_t d,
+                  double alpha, int64_t *thetas, uint8_t *flags) {
+    for (int64_t axis = 0; axis < d; axis++) {
+        int64_t n = totals[axis];
+        double p = probs[axis];
+        flags[axis] = 0;
+        if (n <= 0) { thetas[axis] = 0; continue; }
+        int64_t low;
+        if (alpha < 0.4) {
+            low = (int64_t)floor((double)n * p) - 2;
+            if (low < -1) low = -1;
+        } else {
+            low = -1;
+        }
+        int64_t high = n;
+        while (high - low > 1) {
+            int64_t mid = (low + high) / 2;
+            if (binom_sf(n, p, mid) <= alpha) high = mid; else low = mid;
+        }
+        thetas[axis] = high;
+        double upper = binom_sf(n, p, high);
+        double lower = binom_sf(n, p, high - 1);
+        if (fabs(upper - alpha) <= SF_GUARD_BAND * alpha) flags[axis] = 1;
+        if (fabs(lower - alpha) <= SF_GUARD_BAND * alpha) flags[axis] = 1;
+    }
+}
+"""
+
+_LOADED: dict[str, Any] | None = None
+_UNAVAILABLE_REASON: str | None = None
+
+_I64P = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+_F64P = np.ctypeslib.ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
+_U8P = np.ctypeslib.ndpointer(dtype=np.uint8, flags="C_CONTIGUOUS")
+
+
+def _compiler() -> str | None:
+    for candidate in ("cc", "gcc", "clang"):
+        path = shutil.which(candidate)
+        if path:
+            return path
+    return None
+
+
+def _shared_object(compiler: str) -> Path:
+    """Compile (once) into a content-addressed .so in the tmp dir."""
+    digest = hashlib.sha256(_C_SOURCE.encode("utf-8")).hexdigest()[:16]
+    cache_dir = Path(tempfile.gettempdir())
+    target = cache_dir / f"repro_cext_{digest}.so"
+    if target.exists():
+        return target
+    with tempfile.TemporaryDirectory(dir=cache_dir) as workdir:
+        source = Path(workdir) / "repro_kernels.c"
+        source.write_text(_C_SOURCE, encoding="utf-8")
+        built = Path(workdir) / "repro_kernels.so"
+        subprocess.run(
+            [compiler, "-O3", "-shared", "-fPIC", str(source),
+             "-o", str(built), "-lm"],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        # Atomic publish: concurrent processes race benignly to the
+        # same content-addressed name.
+        shutil.move(str(built), str(target))
+    return target
+
+
+def load() -> dict[str, Any]:
+    """Bind the C kernels; raises ``ImportError`` with the build reason."""
+    global _LOADED, _UNAVAILABLE_REASON
+    if _LOADED is not None:
+        return _LOADED
+    if _UNAVAILABLE_REASON is not None:
+        raise ImportError(_UNAVAILABLE_REASON)
+
+    compiler = _compiler()
+    if compiler is None:
+        _UNAVAILABLE_REASON = "no C compiler (cc/gcc/clang) on PATH"
+        raise ImportError(_UNAVAILABLE_REASON)
+    try:
+        lib = ctypes.CDLL(str(_shared_object(compiler)))
+    except (OSError, subprocess.SubprocessError) as error:
+        detail = ""
+        if isinstance(error, subprocess.CalledProcessError):
+            detail = f": {error.stderr.decode(errors='replace')[:500]}"
+        _UNAVAILABLE_REASON = (
+            f"C kernel build failed ({type(error).__name__}{detail})"
+        )
+        raise ImportError(_UNAVAILABLE_REASON) from error
+
+    lib.level_responses.restype = None
+    lib.level_responses.argtypes = [
+        _I64P, _I64P, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, _I64P,
+    ]
+    lib.box_scan.restype = ctypes.c_int64
+    lib.box_scan.argtypes = [
+        _I64P, ctypes.c_int64, ctypes.c_int64, _I64P, _I64P,
+        ctypes.c_int64, ctypes.c_int64, _I64P,
+    ]
+    lib.six_region.restype = None
+    lib.six_region.argtypes = [
+        _I64P, _I64P, _I64P, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+        ctypes.c_int64, _I64P, _I64P, _I64P,
+    ]
+    lib.binom_thetas.restype = None
+    lib.binom_thetas.argtypes = [
+        _I64P, _F64P, ctypes.c_int64, ctypes.c_double, _I64P, _U8P,
+    ]
+
+    def level_responses(soa: LevelSoA) -> IntArray:
+        m, d = soa.coords.shape
+        out = np.empty(m, dtype=np.int64)
+        lib.level_responses(soa.coords, soa.counts, m, d, soa.limit, out)
+        return out
+
+    def box_scan(
+        soa: LevelSoA, lo: IntArray, hi: IntArray, start: int, stop: int
+    ) -> IntArray:
+        m, d = soa.coords.shape
+        span = max(0, min(stop, m) - max(start, 0))
+        out = np.empty(span, dtype=np.int64)
+        if span == 0:
+            return out
+        found = lib.box_scan(
+            soa.coords, m, d,
+            np.ascontiguousarray(lo, dtype=np.int64),
+            np.ascontiguousarray(hi, dtype=np.int64),
+            start, stop, out,
+        )
+        return out[:found]
+
+    def six_region(
+        soa: LevelSoA, position: int, bits: IntArray
+    ) -> tuple[IntArray, IntArray]:
+        m, d = soa.coords.shape
+        center = np.empty(d, dtype=np.int64)
+        total = np.empty(d, dtype=np.int64)
+        lib.six_region(
+            soa.coords, soa.counts, soa.half_counts, m, d, soa.limit,
+            position, np.ascontiguousarray(bits, dtype=np.int64),
+            center, total,
+        )
+        return center, total
+
+    def binom_thetas(
+        totals: IntArray, probs: FloatArray, alpha: float
+    ) -> tuple[IntArray, IntArray]:
+        d = totals.shape[0]
+        thetas = np.empty(d, dtype=np.int64)
+        flags = np.zeros(d, dtype=np.uint8)
+        lib.binom_thetas(
+            np.ascontiguousarray(totals, dtype=np.int64),
+            np.ascontiguousarray(probs, dtype=np.float64),
+            d, float(alpha), thetas, flags,
+        )
+        return thetas, flags
+
+    _LOADED = {
+        "name": NAME,
+        "compiled": COMPILED,
+        "version": Path(compiler).name,
+        "level_responses": level_responses,
+        "box_scan": box_scan,
+        "six_region": six_region,
+        "binom_thetas": binom_thetas,
+    }
+    return _LOADED

@@ -1,0 +1,289 @@
+"""Loop-form kernel bodies shared by the compiled backends.
+
+Every function here is written in the restricted, ``nopython``-jittable
+dialect — flat ``for`` loops over contiguous int64/float64 buffers, no
+helper calls, no Python objects — so the numba backend can compile them
+unchanged (``numba.njit(cache=True)`` over these exact functions) while
+the test suite exercises the *same* bodies interpreted, keeping the
+compiled semantics covered even on machines without numba.  The C
+backend mirrors these algorithms statement for statement.
+
+Three structural facts the kernels exploit:
+
+* level rows arrive in lexicographic key order, so shifting one
+  coordinate column by ±1 preserves the order — face-neighbour joins
+  are linear merges, not per-probe binary searches;
+* a β-cluster box admits, per axis, one contiguous integer coordinate
+  interval ``[lo, hi]``, so the exclusion scan is a flat interval test;
+* the binomial tail ``P(X > t)`` is a monotone function of ``t``, so
+  the critical value is a binary search over stable log-space tail
+  sums, with a relative guard band that routes borderline cases back
+  to the scipy oracle (see :func:`binom_thetas`).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.types import FloatArray, IntArray
+
+SF_GUARD_BAND = 1e-6
+"""Relative distance from ``alpha`` below which a tail sum is treated
+as borderline and the axis flagged for scipy adjudication.  The tail
+summation's relative error is dominated by the ``lgamma`` ulp error of
+the log-space first term, which grows with ``n`` — measured ~1e-10 at
+``n`` ≈ 2·10³ and bounded by ~1e-8 at the largest tree populations
+(``n`` ≈ 10⁶) — so the band keeps two orders of magnitude of margin:
+a decision the kernel *keeps* can never disagree with the oracle,
+while the flag probability (tail sums landing within 1e-6 of ``alpha``)
+stays negligible."""
+
+_SF_TOLERANCE = 1e-18
+"""Early-termination threshold for the geometric tail remainder."""
+
+
+def level_responses(coords: IntArray, counts: IntArray, limit: int) -> IntArray:
+    """Laplacian face-mask response of every cell, in key order.
+
+    ``response(c) = 2d·n(c) − Σ_j [n(c−e_j) + n(c+e_j)]`` with empty or
+    out-of-grid neighbours contributing zero.  The probe rows
+    (coordinates shifted by ``+1`` along ``axis``) are themselves in
+    key order, so one forward merge against the cell rows resolves all
+    neighbour lookups in ``O(m·d)`` comparisons — and the face-neighbour
+    relation is symmetric (``j = i + e_axis`` implies ``i = j −
+    e_axis``), so that single ``+1`` merge per axis settles both
+    deltas: each match debits ``counts[j]`` from ``responses[i]`` and
+    ``counts[i]`` from ``responses[j]``.
+    """
+    m, d = coords.shape
+    responses = np.empty(m, dtype=np.int64)
+    for i in range(m):
+        responses[i] = 2 * d * counts[i]
+    for axis in range(d):
+        j = 0
+        for i in range(m):
+            shifted = coords[i, axis] + 1
+            if shifted > limit:
+                continue
+            # Advance the candidate cursor while row_j < probe_i.
+            while j < m:
+                comparison = 0
+                for k in range(d):
+                    b = coords[i, k]
+                    if k == axis:
+                        b = shifted
+                    a = coords[j, k]
+                    if a < b:
+                        comparison = -1
+                        break
+                    if a > b:
+                        comparison = 1
+                        break
+                if comparison < 0:
+                    j += 1
+                else:
+                    break
+            if j >= m:
+                break
+            equal = True
+            for k in range(d):
+                b = coords[i, k]
+                if k == axis:
+                    b = shifted
+                if coords[j, k] != b:
+                    equal = False
+                    break
+            if equal:
+                responses[i] -= counts[j]
+                responses[j] -= counts[i]
+    return responses
+
+
+def box_scan(
+    coords: IntArray, lo: IntArray, hi: IntArray, start: int, stop: int
+) -> IntArray:
+    """Positions in ``[start, stop)`` whose cell lies inside the box.
+
+    ``lo``/``hi`` are the per-axis closed integer coordinate intervals
+    of one β-cluster box (non-binding axes span the whole grid); the
+    caller has already bounded the candidate range over axis 0 via the
+    key order.
+    """
+    m, d = coords.shape
+    if stop > m:
+        stop = m
+    if start < 0:
+        start = 0
+    out = np.empty(stop - start if stop > start else 0, dtype=np.int64)
+    found = 0
+    for position in range(start, stop):
+        inside = True
+        for axis in range(d):
+            c = coords[position, axis]
+            if c < lo[axis] or c > hi[axis]:
+                inside = False
+                break
+        if inside:
+            out[found] = position
+            found += 1
+    return out[:found]
+
+
+def six_region(
+    coords: IntArray,
+    counts: IntArray,
+    half_counts: IntArray,
+    position: int,
+    bits: IntArray,
+    limit: int,
+) -> tuple[IntArray, IntArray]:
+    """Six-region counts ``(cP_j, nP_j)`` around one parent cell.
+
+    ``position`` indexes the pivot's *parent* cell in the parent
+    level's key-ordered buffers; ``bits`` is the pivot's ``loc`` bit
+    per axis.  Face neighbours are resolved with a lexicographic
+    binary search over the coordinate rows (log m row compares, each
+    early-exiting at the first differing column).
+    """
+    m, d = coords.shape
+    center = np.empty(d, dtype=np.int64)
+    total = np.empty(d, dtype=np.int64)
+    parent_n = counts[position]
+    for axis in range(d):
+        neighbors = 0
+        for delta in (-1, 1):
+            target = coords[position, axis] + delta
+            if target < 0 or target > limit:
+                continue
+            low = 0
+            high = m
+            while low < high:
+                mid = (low + high) // 2
+                comparison = 0
+                for k in range(d):
+                    b = coords[position, k]
+                    if k == axis:
+                        b = target
+                    a = coords[mid, k]
+                    if a < b:
+                        comparison = -1
+                        break
+                    if a > b:
+                        comparison = 1
+                        break
+                if comparison < 0:
+                    low = mid + 1
+                else:
+                    high = mid
+            if low < m:
+                equal = True
+                for k in range(d):
+                    b = coords[position, k]
+                    if k == axis:
+                        b = target
+                    if coords[low, k] != b:
+                        equal = False
+                        break
+                if equal:
+                    neighbors += counts[low]
+        total[axis] = parent_n + neighbors
+        half = half_counts[position, axis]
+        if bits[axis] == 0:
+            center[axis] = half
+        else:
+            center[axis] = parent_n - half
+    return center, total
+
+
+def binom_sf(n: int, p: float, t: int) -> float:
+    """Upper tail ``P(X > t)`` for ``X ~ Binomial(n, p)``.
+
+    Log-space first term plus a multiplicative recurrence over the
+    remaining terms; terminates once the geometric remainder is below
+    ``1e-18`` of the accumulated sum *and* the summation has passed the
+    mode (before the mode terms still grow).  Exact at the boundaries.
+    """
+    if t < 0:
+        return 1.0
+    if t >= n:
+        return 0.0
+    q = 1.0 - p
+    k = t + 1
+    log_term = (
+        math.lgamma(n + 1.0)
+        - math.lgamma(k + 1.0)
+        - math.lgamma(n - k + 1.0)
+        + k * math.log(p)
+        + (n - k) * math.log(q)
+    )
+    # Below exp(-708) the first term is subnormal and the recurrence
+    # would propagate its truncated mantissa (relative error ~1e-6)
+    # into every later term.  Left of the mode the sum is dominated by
+    # the near-mode terms, so an underflowing start means the *left*
+    # tail is negligible (< n·1e-300) and P(X > t) is 1.0 to the last
+    # bit; right of the mode the whole upper tail is below 1e-300 and
+    # only its absolute size (≈ 0) can matter to a caller.
+    if log_term < -708.0 and k <= math.floor((n + 1) * p):
+        return 1.0
+    term = math.exp(log_term)
+    total = term
+    mean = n * p
+    while k < n:
+        term *= (n - k) * p / ((k + 1.0) * q)
+        k += 1
+        total += term
+        if term <= total * _SF_TOLERANCE and k > mean:
+            break
+    return total
+
+
+def binom_thetas(
+    totals: IntArray, probs: FloatArray, alpha: float
+) -> tuple[IntArray, IntArray]:
+    """Critical values ``θ^α`` per axis, plus borderline flags.
+
+    For each axis, the smallest integer ``t`` with
+    ``P(X > t) <= alpha`` for ``X ~ Binomial(totals[j], probs[j])`` —
+    the same contract as the scipy-backed
+    :func:`repro.core.hypothesis_test.critical_values`.  The returned
+    ``flags`` mark axes whose tail sum came within ``SF_GUARD_BAND``
+    (relative) of ``alpha`` at either side of the cut; the caller must
+    recompute those axes with the scipy oracle so kernel decisions are
+    bit-identical to the numpy backend by construction.
+    """
+    d = totals.shape[0]
+    thetas = np.empty(d, dtype=np.int64)
+    flags = np.zeros(d, dtype=np.uint8)
+    for axis in range(d):
+        n = int(totals[axis])
+        p = float(probs[axis])
+        if n <= 0:
+            thetas[axis] = 0
+            continue
+        # sf is ≥ 1/2 at or below the median, which is within one of
+        # n·p, so for small alpha the search can start just under the
+        # mean without evaluating (and underflowing) the deep left tail.
+        if alpha < 0.4:
+            low = int(math.floor(n * p)) - 2
+            if low < -1:
+                low = -1
+        else:
+            low = -1
+        high = n
+        # Invariant: sf(low) > alpha >= sf(high).
+        while high - low > 1:
+            mid = (low + high) // 2
+            if binom_sf(n, p, mid) <= alpha:
+                high = mid
+            else:
+                low = mid
+        thetas[axis] = high
+        upper = binom_sf(n, p, high)
+        lower = binom_sf(n, p, high - 1)
+        if abs(upper - alpha) <= SF_GUARD_BAND * alpha:
+            flags[axis] = 1
+        if abs(lower - alpha) <= SF_GUARD_BAND * alpha:
+            flags[axis] = 1
+    return thetas, flags

@@ -1,0 +1,98 @@
+"""The numba backend: ``@njit(cache=True)`` over the shared loop bodies.
+
+numba is an optional extra (``pip install repro[speed]``); this module
+is the only place in the package allowed to import it (repro-lint rule
+R010).  Loading jits the kernel bodies from
+:mod:`repro.core.kernels.loops` exactly as written — the interpreted
+and compiled semantics are one source of truth — and returns plain
+callables over :class:`~repro.core.kernels.soa.LevelSoA` views.
+``cache=True`` persists the compiled artefacts next to the module so
+the JIT warm-up is paid once per machine, not once per process; the
+first-call warm-up time is still measured and recorded by
+``scripts/perf_baseline.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.kernels import loops
+from repro.core.kernels.soa import LevelSoA
+from repro.types import FloatArray, IntArray
+
+NAME = "numba"
+COMPILED = True
+
+_LOADED: dict[str, Any] | None = None
+
+
+def load() -> dict[str, Any]:
+    """Jit the loop bodies; raises ``ImportError`` when numba is absent.
+
+    The result is cached: jitting is idempotent per process, and
+    ``binom_thetas`` resolves its ``binom_sf`` call through the loops
+    module's namespace, which is rebound to the jitted dispatcher so
+    the nested call stays inside nopython mode.
+    """
+    global _LOADED
+    if _LOADED is not None:
+        return _LOADED
+
+    import numba
+
+    jit = numba.njit(cache=True)
+    # binom_thetas calls binom_sf as a module global; the callee must
+    # already be a dispatcher when the caller compiles.  The rebind is
+    # observable from Python but semantically identical.
+    if not hasattr(loops.binom_sf, "py_func"):
+        loops.binom_sf = jit(loops.binom_sf)
+    compiled_responses = jit(loops.level_responses)
+    compiled_box_scan = jit(loops.box_scan)
+    compiled_six_region = jit(loops.six_region)
+    compiled_binom_thetas = jit(loops.binom_thetas)
+
+    def level_responses(soa: LevelSoA) -> IntArray:
+        result: IntArray = compiled_responses(soa.coords, soa.counts, soa.limit)
+        return result
+
+    def box_scan(
+        soa: LevelSoA, lo: IntArray, hi: IntArray, start: int, stop: int
+    ) -> IntArray:
+        result: IntArray = compiled_box_scan(soa.coords, lo, hi, start, stop)
+        return result
+
+    def six_region(
+        soa: LevelSoA, position: int, bits: IntArray
+    ) -> tuple[IntArray, IntArray]:
+        center, total = compiled_six_region(
+            soa.coords,
+            soa.counts,
+            soa.half_counts,
+            position,
+            np.ascontiguousarray(bits, dtype=np.int64),
+            soa.limit,
+        )
+        return center, total
+
+    def binom_thetas(
+        totals: IntArray, probs: FloatArray, alpha: float
+    ) -> tuple[IntArray, IntArray]:
+        thetas, flags = compiled_binom_thetas(
+            np.ascontiguousarray(totals, dtype=np.int64),
+            np.ascontiguousarray(probs, dtype=np.float64),
+            float(alpha),
+        )
+        return thetas, flags
+
+    _LOADED = {
+        "name": NAME,
+        "compiled": COMPILED,
+        "version": str(numba.__version__),
+        "level_responses": level_responses,
+        "box_scan": box_scan,
+        "six_region": six_region,
+        "binom_thetas": binom_thetas,
+    }
+    return _LOADED

@@ -1,0 +1,102 @@
+"""The numpy reference backend — the reproduction's bit-identity oracle.
+
+Every kernel here is the vectorised numpy formulation the package ran
+before the backend layer existed: integer arithmetic plus sorted-key
+``searchsorted`` joins for the convolution and the six-region
+neighbourhood, the interval test for the box-exclusion scan, and the
+scipy binomial inverse survival function for the critical values.  The
+compiled backends are validated against these functions — any
+disagreement is a bug in the compiled path, never in this one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.core.counting_tree import void_keys
+from repro.core.kernels.soa import LevelSoA
+from repro.types import FloatArray, IntArray
+
+NAME = "numpy"
+COMPILED = False
+
+
+def version() -> str:
+    """Version string recorded in benchmarks (the numpy release)."""
+    return str(np.__version__)
+
+
+def level_responses(soa: LevelSoA) -> IntArray:
+    """Laplacian responses in key order (vectorised searchsorted joins)."""
+    m, d = soa.coords.shape
+    responses = (2 * d) * soa.counts.astype(np.int64)
+    if m <= 1:
+        return responses
+    limit = soa.limit
+    shifted = soa.coords.copy()
+    for axis in range(d):
+        column = soa.coords[:, axis]
+        for delta in (-1, 1):
+            shifted[:, axis] = column + delta
+            valid = (shifted[:, axis] >= 0) & (shifted[:, axis] <= limit)
+            if not np.any(valid):
+                continue
+            queries = void_keys(shifted[valid])
+            positions = np.searchsorted(soa.keys, queries)
+            positions = np.minimum(positions, m - 1)
+            found = soa.keys[positions] == queries
+            targets = np.flatnonzero(valid)[found]
+            responses[targets] -= soa.counts[positions[found]]
+        shifted[:, axis] = column
+    return responses
+
+
+def box_scan(
+    soa: LevelSoA, lo: IntArray, hi: IntArray, start: int, stop: int
+) -> IntArray:
+    """Key-order positions within ``[start, stop)`` inside the box."""
+    block = soa.coords[start:stop]
+    if block.shape[0] == 0:
+        return np.empty(0, dtype=np.int64)
+    hit = np.all((block >= lo) & (block <= hi), axis=1)
+    positions: IntArray = start + np.flatnonzero(hit)
+    return positions
+
+
+def six_region(
+    soa: LevelSoA, position: int, bits: IntArray
+) -> tuple[IntArray, IntArray]:
+    """Six-region counts ``(cP_j, nP_j)``, all 2d probes in one join."""
+    m, d = soa.coords.shape
+    base = soa.coords[position]
+    parent_n = int(soa.counts[position])
+    probes = np.tile(base, (2 * d, 1))
+    probe_axes = np.repeat(np.arange(d, dtype=np.int64), 2)
+    deltas = np.tile(np.array([-1, 1], dtype=np.int64), d)
+    probe_index = np.arange(2 * d, dtype=np.int64)
+    probes[probe_index, probe_axes] += deltas
+    shifted = probes[probe_index, probe_axes]
+    valid = (shifted >= 0) & (shifted <= soa.limit)
+    neighbors = np.zeros(2 * d, dtype=np.int64)
+    if np.any(valid):
+        queries = void_keys(probes[valid])
+        positions = np.searchsorted(soa.keys, queries)
+        positions = np.minimum(positions, m - 1)
+        found = soa.keys[positions] == queries
+        neighbors[np.flatnonzero(valid)[found]] = soa.counts[positions[found]]
+    total = parent_n + neighbors[0::2] + neighbors[1::2]
+    half = soa.half_counts[position]
+    center = np.where(bits == 0, half, parent_n - half).astype(np.int64)
+    return center, total.astype(np.int64)
+
+
+def binom_thetas(
+    totals: IntArray, probs: FloatArray, alpha: float
+) -> tuple[IntArray, IntArray]:
+    """Critical values via the scipy oracle; nothing is ever borderline."""
+    totals = np.asarray(totals, dtype=np.int64)
+    theta = stats.binom.isf(alpha, np.maximum(totals, 1), probs)
+    theta = np.where(np.isnan(theta), totals, theta)
+    thetas = np.where(totals == 0, 0, theta.astype(np.int64))
+    return thetas, np.zeros(totals.shape[0], dtype=np.uint8)

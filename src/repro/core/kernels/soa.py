@@ -1,0 +1,123 @@
+"""Structure-of-arrays kernel view of one Counting-tree level.
+
+The kernels operate on flat, contiguous buffers in *key order* — the
+lexicographic order of the packed cell keys that every builder
+(:func:`~repro.core.counting_tree.aggregate_levels`, the streaming SoA
+store, the reference rescan) already produces.  A
+:class:`LevelSoA` is that view: ``coords``/``counts``/``half_counts``
+rows sorted by key, plus ``order`` mapping each sorted position back to
+the level's row index so kernel results can be scattered into row
+order.  When the level is already stored in key order (the common case
+after the SoA refactor) the view aliases the level's arrays and the
+scatter is the identity — no copies on the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.types import AnyArray, IntArray
+
+if TYPE_CHECKING:  # import edge kept type-only to avoid a cycle
+    from repro.core.counting_tree import Level
+
+
+@dataclass(frozen=True)
+class LevelSoA:
+    """Key-sorted, C-contiguous buffers of one level's cell store.
+
+    Attributes
+    ----------
+    h:
+        Level number; coordinates lie in ``[0, 2**h)``.
+    coords:
+        ``(m, d)`` int64 cell coordinates, rows in key order.
+    counts:
+        ``(m,)`` int64 point count per cell, in key order.
+    half_counts:
+        ``(m, d)`` int64 half-space counts, in key order.
+    order:
+        ``(m,)`` int64 level-row index of each sorted position, or
+        ``None`` when the level is already stored in key order (the
+        scatter is then the identity).
+    keys:
+        The sorted packed void keys (kept for the numpy backend's
+        ``searchsorted`` joins; compiled backends search ``coords``
+        rows directly).
+    """
+
+    h: int
+    coords: IntArray
+    counts: IntArray
+    half_counts: IntArray
+    order: IntArray | None
+    keys: AnyArray
+
+    @property
+    def n_cells(self) -> int:
+        return int(self.coords.shape[0])
+
+    @property
+    def limit(self) -> int:
+        """Largest admissible coordinate at this level (``2**h - 1``)."""
+        return (1 << self.h) - 1
+
+    def to_row_order(self, values: AnyArray) -> AnyArray:
+        """Scatter kernel output (key order) back into level-row order."""
+        if self.order is None:
+            return values
+        out = np.empty_like(values)
+        out[self.order] = values
+        return out
+
+    def rows_of_positions(self, positions: IntArray) -> IntArray:
+        """Level-row indices of sorted positions."""
+        if self.order is None:
+            return positions
+        result: IntArray = self.order[positions]
+        return result
+
+    def position_of_row(self, row: int) -> int:
+        """Sorted position of one level-row index."""
+        if self.order is None:
+            return row
+        return int(np.flatnonzero(self.order == row)[0])
+
+
+def level_soa(level: Level) -> LevelSoA:
+    """The (cached) kernel view of a ``Level``.
+
+    Called through ``Level.soa()``; defined here so the runtime import
+    edge points from ``counting_tree`` into the kernels package only.
+    """
+    cached = level._soa
+    if cached is not None:
+        return cached
+
+    sort_order = level._sort_order
+    keys = level._sorted_keys
+    assert sort_order is not None and keys is not None
+    m = int(sort_order.shape[0])
+    if bool(np.array_equal(sort_order, np.arange(m, dtype=np.int64))):
+        view = LevelSoA(
+            h=int(level.h),
+            coords=np.ascontiguousarray(level.coords),
+            counts=np.ascontiguousarray(level.n),
+            half_counts=np.ascontiguousarray(level.half_counts),
+            order=None,
+            keys=keys,
+        )
+    else:
+        view = LevelSoA(
+            h=int(level.h),
+            coords=np.ascontiguousarray(level.coords[sort_order]),
+            counts=np.ascontiguousarray(level.n[sort_order]),
+            half_counts=np.ascontiguousarray(level.half_counts[sort_order]),
+            order=np.ascontiguousarray(sort_order),
+            keys=keys,
+        )
+    level._soa = view
+    return view

@@ -58,6 +58,11 @@ class MrCC:
     max_beta_clusters:
         Optional cap on the β-cluster search; ``None`` reproduces the
         paper exactly.
+    n_jobs:
+        Worker count for the sharded Counting-tree build (phase one).
+        ``None`` defers to ``REPRO_JOBS`` with the
+        :data:`~repro.core.counting_tree.SHARD_MIN_POINTS` floor; the
+        sharded build is bit-identical to the serial one.
 
     Attributes (after :meth:`fit`)
     ------------------------------
@@ -74,6 +79,7 @@ class MrCC:
         n_resolutions: int = DEFAULT_RESOLUTIONS,
         normalize: bool = True,
         max_beta_clusters: int | None = None,
+        n_jobs: int | None = None,
     ) -> None:
         if not 0.0 < alpha < 1.0:
             raise ValueError("alpha must be in (0, 1)")
@@ -83,6 +89,7 @@ class MrCC:
         self.n_resolutions = int(n_resolutions)
         self.normalize = bool(normalize)
         self.max_beta_clusters = max_beta_clusters
+        self.n_jobs = n_jobs
 
         self.labels_: IntArray | None = None
         self.clusters_: list[SubspaceCluster] | None = None
@@ -106,7 +113,11 @@ class MrCC:
                 with obs.span("fit.normalize"):
                     points = minmax_normalize(points)
 
-            self.tree_ = CountingTree(points, n_resolutions=self.n_resolutions)
+            self.tree_ = CountingTree(
+                points,
+                n_resolutions=self.n_resolutions,
+                n_jobs=self.n_jobs,
+            )
             self.beta_clusters_ = find_beta_clusters(
                 self.tree_, self.alpha, max_beta_clusters=self.max_beta_clusters
             )

@@ -16,6 +16,7 @@ data, so phases two and three of MrCC run on it unchanged.
 from __future__ import annotations
 
 from collections.abc import Iterable
+from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
@@ -26,9 +27,14 @@ from repro.core.counting_tree import (
     MIN_RESOLUTIONS,
     CountingTree,
     Level,
+    LevelArrays,
+    bin_points,
+    level_arrays,
+    level_from_arrays,
+    merge_level_arrays,
     tree_from_levels,
 )
-from repro.types import ClusteringResult, FloatArray, IntArray
+from repro.types import ClusteringResult, FloatArray
 
 
 class TreeStreamBuilder:
@@ -40,6 +46,13 @@ class TreeStreamBuilder:
     source can repair or skip the offending chunk and keep absorbing.
     That validate-then-mutate ordering is what makes mid-stream failure
     survivable instead of silently corrupting the tree.
+
+    Aggregates are held per level as key-sorted structure-of-arrays
+    triples (:data:`~repro.core.counting_tree.LevelArrays`), the same
+    canonical form every tree builder produces; each absorb is a
+    key-grouped sum (:func:`~repro.core.counting_tree.merge_level_arrays`),
+    which makes the builder double as the reduce primitive of the
+    sharded build (:func:`sharded_levels`).
     """
 
     def __init__(self, n_resolutions: int = 4) -> None:
@@ -51,9 +64,7 @@ class TreeStreamBuilder:
                 f"coordinates must fit the uint32 cell-key packing"
             )
         self._n_resolutions = n_resolutions
-        self._accumulators: dict[int, dict[bytes, tuple[int, np.ndarray]]] = {
-            h: {} for h in range(1, n_resolutions)
-        }
+        self._stores: dict[int, LevelArrays] = {}
         self._d: int | None = None
         self._n_points = 0
         self._n_chunks = 0
@@ -84,28 +95,71 @@ class TreeStreamBuilder:
         )
         if chunk.shape[0] == 0:
             return
-        if self._d is None:
-            self._d = chunk.shape[1]
-        elif chunk.shape[1] != self._d:
+        if self._d is not None and chunk.shape[1] != self._d:
             raise ValueError("all chunks must share the same dimensionality")
-        self._n_points += chunk.shape[0]
-        self._n_chunks += 1
         obs.incr("stream.chunks")
         obs.incr("stream.points", int(chunk.shape[0]))
-        _accumulate_chunk(chunk, self._n_resolutions, self._accumulators)
+        arrays = level_arrays(
+            bin_points(chunk, self._n_resolutions), self._n_resolutions
+        )
+        self.absorb_arrays(arrays, n_points=int(chunk.shape[0]))
+
+    def absorb_arrays(
+        self, arrays: dict[int, LevelArrays], n_points: int
+    ) -> None:
+        """Merge pre-aggregated per-level SoA arrays (the reduce primitive).
+
+        ``arrays`` is one partial tree — what
+        :func:`shard_level_arrays` returns for a point shard or
+        :func:`~repro.core.counting_tree.level_arrays` for a chunk —
+        and must cover exactly levels ``1 .. H-1``.  Validation happens
+        before any store is touched and the merged stores are committed
+        only after every level merged, so a failing merge leaves the
+        builder unchanged (the same transactional contract as
+        :meth:`absorb`).
+        """
+        expected = set(range(1, self._n_resolutions))
+        if set(arrays) != expected:
+            raise ValueError(
+                f"partial tree covers levels {sorted(arrays)}, "
+                f"expected {sorted(expected)}"
+            )
+        d = int(arrays[1][0].shape[1])
+        if self._d is not None and d != self._d:
+            raise ValueError("all chunks must share the same dimensionality")
+        if n_points <= 0:
+            raise ValueError("a partial tree must cover at least one point")
+        merged = {
+            h: (
+                merge_level_arrays(self._stores[h], arrays[h])
+                if h in self._stores
+                else arrays[h]
+            )
+            for h in expected
+        }
+        self._stores = merged
+        self._d = d
+        self._n_points += n_points
+        self._n_chunks += 1
+
+    def build_levels(self) -> dict[int, Level]:
+        """Materialise the absorbed aggregates as ``Level`` objects."""
+        if self._d is None or self._n_points == 0:
+            raise ValueError("the stream delivered no points")
+        levels: dict[int, Level] = {}
+        for h in range(1, self._n_resolutions):
+            levels[h] = level_from_arrays(h, self._stores[h])
+            obs.incr(f"tree.level{h}.cells", levels[h].n_cells)
+        return levels
 
     def build(self) -> CountingTree:
         """Finalize the absorbed aggregates into a Counting-tree.
 
-        The accumulators are read, not consumed: more chunks can be
-        absorbed afterwards and a later :meth:`build` reflects them.
+        The stores are read, not consumed: more chunks can be absorbed
+        afterwards and a later :meth:`build` reflects them.
         """
-        if self._d is None or self._n_points == 0:
-            raise ValueError("the stream delivered no points")
-        levels = {
-            h: _finalize_level(h, self._accumulators[h], self._d)
-            for h in range(1, self._n_resolutions)
-        }
+        levels = self.build_levels()
+        assert self._d is not None
         return tree_from_levels(
             levels, self._d, self._n_points, self._n_resolutions
         )
@@ -128,53 +182,53 @@ def build_tree_from_chunks(
         return builder.build()
 
 
-def _accumulate_chunk(
-    chunk: FloatArray,
-    n_resolutions: int,
-    accumulators: dict[int, dict[bytes, tuple[int, IntArray]]],
-) -> None:
-    """Merge one chunk's per-level counts into the accumulators."""
-    base = np.floor(chunk * (1 << n_resolutions)).astype(np.int64)
-    np.clip(base, 0, (1 << n_resolutions) - 1, out=base)
-    for h in range(1, n_resolutions):
-        shift = n_resolutions - h
-        coords = base >> shift
-        half_bits = (base >> (shift - 1)) & 1
-        cells, inverse = np.unique(coords, axis=0, return_inverse=True)
-        inverse = inverse.ravel()
-        counts = np.bincount(inverse, minlength=cells.shape[0])
-        lower = np.zeros((cells.shape[0], chunk.shape[1]), dtype=np.int64)
-        np.add.at(lower, inverse, (half_bits == 0).astype(np.int64))
-        table = accumulators[h]
-        for row in range(cells.shape[0]):
-            key = cells[row].tobytes()
-            if key in table:
-                n_old, half_old = table[key]
-                table[key] = (n_old + int(counts[row]), half_old + lower[row])
-            else:
-                table[key] = (int(counts[row]), lower[row].copy())
+def shard_level_arrays(
+    shard: FloatArray, n_resolutions: int
+) -> dict[int, LevelArrays]:
+    """One shard worker's partial tree (pure — runs in worker processes).
+
+    Bin the shard's points at the finest half-resolution and cascade
+    them into per-level SoA aggregates.  Deliberately free of
+    validation, observability and environment access: contracts run
+    once in the parent over the whole dataset, and worker output must
+    depend on nothing but the argument values.
+    """
+    return level_arrays(bin_points(shard, n_resolutions), n_resolutions)
 
 
-def _finalize_level(
-    h: int, table: dict[bytes, tuple[int, IntArray]], d: int
-) -> Level:
-    """Convert an accumulator table into a packed Level."""
-    m = len(table)
-    obs.incr(f"tree.level{h}.cells", m)
-    coords = np.empty((m, d), dtype=np.int64)
-    counts = np.empty(m, dtype=np.int64)
-    halves = np.empty((m, d), dtype=np.int64)
-    for i, (key, (n, half)) in enumerate(sorted(table.items())):
-        coords[i] = np.frombuffer(key, dtype=np.int64)
-        counts[i] = n
-        halves[i] = half
-    return Level(
-        h=h,
-        coords=coords,
-        n=counts,
-        half_counts=halves,
-        used=np.zeros(m, dtype=bool),
-    )
+def sharded_levels(
+    points: FloatArray, n_resolutions: int, n_jobs: int
+) -> dict[int, Level]:
+    """Build all tree levels by fanning point shards over processes.
+
+    The points are split into ``n_jobs`` contiguous shards; each worker
+    cascades its shard into per-level SoA aggregates
+    (:func:`shard_level_arrays`) and the parent reduces the partial
+    trees through :meth:`TreeStreamBuilder.absorb_arrays` in
+    **submission order** — worker *completion* order never influences
+    the reduction, and the merge itself is an associative key-grouped
+    sum, so the result is bit-identical to the serial build (the
+    ``n_jobs`` equivalence suite asserts it).
+    """
+    shards = [
+        shard
+        for shard in np.array_split(points, max(1, n_jobs))
+        if shard.shape[0]
+    ]
+    builder = TreeStreamBuilder(n_resolutions=n_resolutions)
+    obs.incr("tree.shards", len(shards))
+    with ProcessPoolExecutor(max_workers=min(n_jobs, len(shards))) as pool:
+        futures = [
+            pool.submit(shard_level_arrays, shard, n_resolutions)
+            for shard in shards
+        ]
+        # Deterministic reduce: iterate futures in the order the shards
+        # were submitted, blocking on each in turn.
+        for shard, future in zip(shards, futures):
+            builder.absorb_arrays(
+                future.result(), n_points=int(shard.shape[0])
+            )
+    return builder.build_levels()
 
 
 def fit_stream(

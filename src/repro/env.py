@@ -1,7 +1,9 @@
 """Single home for the reproduction's environment knobs.
 
 Several environment variables steer the package without changing any
-result row: ``REPRO_JOBS`` (worker count for the experiment fan-out),
+result row: ``REPRO_JOBS`` (worker count for the experiment fan-out and
+the sharded Counting-tree build), ``REPRO_BACKEND`` (compute backend
+for the hot-path kernels — see :mod:`repro.core.kernels`),
 ``REPRO_PROFILE`` (``quick``/``full`` tuning grids), ``REPRO_CONTRACTS``
 (toggle for the O(n) data-scan half of the runtime contracts),
 ``REPRO_TRACE`` (the observability layer: off, on, or on plus a JSON
@@ -22,6 +24,8 @@ from __future__ import annotations
 import os
 
 __all__ = [
+    "KNOWN_BACKENDS",
+    "backend_from_env",
     "backoff_from_env",
     "contracts_from_env",
     "faults_from_env",
@@ -70,6 +74,32 @@ def profile_from_env(default: str = "quick") -> str:
             f"REPRO_PROFILE must be 'quick' or 'full', got {profile!r}"
         )
     return profile
+
+
+KNOWN_BACKENDS = ("auto", "numpy", "numba", "cext")
+"""Values ``REPRO_BACKEND`` accepts; everything else is a named error."""
+
+
+def backend_from_env(default: str = "auto") -> str:
+    """Requested compute backend for the hot-path kernels (``REPRO_BACKEND``).
+
+    ``auto`` (the default) lets :mod:`repro.core.kernels` pick the
+    fastest backend that is importable on this machine (numba, then the
+    gcc-compiled C extension, then numpy); ``numpy`` forces the
+    bit-identity oracle; ``numba``/``cext`` demand that specific
+    compiled backend and fail loudly at selection time when it is
+    unavailable.  Values are case-insensitive and whitespace-tolerant;
+    unset or blank means ``default``.
+    """
+    raw = os.environ.get("REPRO_BACKEND", "").strip().lower()
+    if not raw:
+        return default
+    if raw not in KNOWN_BACKENDS:
+        raise ValueError(
+            f"REPRO_BACKEND must be one of {'/'.join(KNOWN_BACKENDS)} "
+            f"(e.g. REPRO_BACKEND=numba), got {raw!r}"
+        )
+    return raw
 
 
 def contracts_from_env(default: bool = True) -> bool:

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.env import (
+    KNOWN_BACKENDS,
+    backend_from_env,
     backoff_from_env,
     contracts_from_env,
     faults_from_env,
@@ -90,6 +92,31 @@ class TestProfileFromEnv:
         from repro.experiments.config import profile_from_env as config_profile
 
         assert config_profile is profile_from_env
+
+
+class TestBackendFromEnv:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert backend_from_env() == "auto"
+        assert backend_from_env(default="numpy") == "numpy"
+
+    def test_blank_returns_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "   ")
+        assert backend_from_env() == "auto"
+
+    @pytest.mark.parametrize("backend", KNOWN_BACKENDS)
+    def test_known_backends_pass_through(self, monkeypatch, backend):
+        monkeypatch.setenv("REPRO_BACKEND", backend)
+        assert backend_from_env() == backend
+
+    def test_case_and_whitespace_normalized(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "  NumPy ")
+        assert backend_from_env() == "numpy"
+
+    def test_unknown_backend_names_the_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "fortran")
+        with pytest.raises(ValueError, match="REPRO_BACKEND.*'fortran'"):
+            backend_from_env()
 
 
 class TestContractsFromEnv:

@@ -1,0 +1,305 @@
+"""Cross-backend equivalence tests for the hot-path kernel layer.
+
+The compiled backends (numba when installed, the C extension whenever a
+system compiler exists) must be *bit-identical* to the numpy reference
+backend — not merely close.  This suite drives that contract three
+ways: hypothesis-generated level views exercise each kernel against the
+oracle, a planted pipeline asserts identical β-clusters and labels end
+to end, and a traced fit asserts the obs counter stream is invariant
+under ``REPRO_BACKEND``.  The interpreted loop bodies
+(:mod:`repro.core.kernels.loops`) are tested as a pseudo-backend of
+their own, so the compiled semantics stay covered on machines where no
+compiled backend loads.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro import obs
+from repro.core import kernels
+from repro.core.beta_cluster import find_beta_clusters
+from repro.core.counting_tree import CountingTree, void_keys
+from repro.core.hypothesis_test import critical_values
+from repro.core.kernels import LevelSoA, loops, reference
+from repro.core.mrcc import MrCC
+from repro.data.synthetic import SyntheticDatasetSpec, generate_dataset
+
+AVAILABLE = kernels.available_backends()
+COMPILED = tuple(
+    name for name in AVAILABLE if kernels.get_backend(name).compiled
+)
+
+
+class _LoopsAdapter:
+    """The interpreted loop bodies, wrapped with the backend signature."""
+
+    name = "loops"
+
+    @staticmethod
+    def level_responses(soa):
+        return loops.level_responses(soa.coords, soa.counts, soa.limit)
+
+    @staticmethod
+    def box_scan(soa, lo, hi, start, stop):
+        return loops.box_scan(soa.coords, lo, hi, start, stop)
+
+    @staticmethod
+    def six_region(soa, position, bits):
+        return loops.six_region(
+            soa.coords, soa.counts, soa.half_counts, position, bits, soa.limit
+        )
+
+    @staticmethod
+    def binom_thetas(totals, probs, alpha):
+        return loops.binom_thetas(totals, probs, alpha)
+
+
+IMPL_NAMES = ["loops"] + [name for name in AVAILABLE if name != "numpy"]
+
+
+def implementation(name):
+    return _LoopsAdapter if name == "loops" else kernels.get_backend(name)
+
+
+@st.composite
+def level_views(draw):
+    """A random key-sorted :class:`LevelSoA` (unique cells, valid halves)."""
+    seed = draw(st.integers(0, 10_000))
+    d = draw(st.integers(1, 6))
+    h = draw(st.integers(1, 5))
+    m = draw(st.integers(1, 60))
+    rng = np.random.default_rng(seed)
+    limit = (1 << h) - 1
+    # np.unique(axis=0) sorts rows lexicographically, which coincides
+    # with the big-endian void-key order the kernels require.
+    coords = np.unique(
+        rng.integers(0, limit + 1, size=(m, d), dtype=np.int64), axis=0
+    )
+    counts = rng.integers(1, 50, size=coords.shape[0]).astype(np.int64)
+    half_counts = rng.integers(
+        0, counts[:, None] + 1, size=(coords.shape[0], d)
+    ).astype(np.int64)
+    return LevelSoA(
+        h=h,
+        coords=coords,
+        counts=counts,
+        half_counts=half_counts,
+        order=None,
+        keys=void_keys(coords),
+    )
+
+
+class TestBackendSelection:
+    def test_numpy_always_loads(self):
+        backend = kernels.get_backend("numpy")
+        assert backend.name == "numpy"
+        assert backend.compiled is False
+        assert backend.version == str(np.__version__)
+
+    def test_unknown_backend_is_a_named_error(self):
+        with pytest.raises(kernels.BackendUnavailableError, match="fortran"):
+            kernels.get_backend("fortran")
+
+    def test_numpy_is_always_available(self):
+        assert "numpy" in AVAILABLE
+
+    def test_env_pin_selects_exactly_that_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert kernels.active_backend().name == "numpy"
+
+    def test_flipping_env_reresolves_mid_process(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert kernels.active_backend().name == "numpy"
+        monkeypatch.setenv("REPRO_BACKEND", "auto")
+        assert kernels.active_backend().name == AVAILABLE[0]
+
+    def test_auto_prefers_a_compiled_backend_when_available(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "auto")
+        backend = kernels.active_backend()
+        assert backend.name == AVAILABLE[0]
+        if COMPILED:
+            assert backend.compiled
+
+    def test_unavailable_named_backend_carries_the_probe_reason(self):
+        missing = [
+            name for name in ("numba", "cext") if name not in AVAILABLE
+        ]
+        if not missing:
+            pytest.skip("every optional backend loads on this machine")
+        with pytest.raises(
+            kernels.BackendUnavailableError, match=missing[0]
+        ):
+            kernels.get_backend(missing[0])
+
+    def test_backend_info_reports_the_active_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        info = kernels.backend_info()
+        assert info["requested"] == "numpy"
+        assert info["name"] == "numpy"
+        assert info["compiled"] is False
+        assert set(info["available"]) == set(AVAILABLE)
+
+    @pytest.mark.parametrize("name", AVAILABLE)
+    def test_warm_up_exercises_every_kernel(self, name):
+        kernels.warm_up(kernels.get_backend(name))
+
+    def test_reset_forgets_probes_and_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        before = kernels.active_backend()
+        kernels.reset_backends()
+        after = kernels.active_backend()
+        assert after.name == before.name
+        assert after is not before
+
+
+@pytest.mark.parametrize("name", IMPL_NAMES)
+class TestKernelEquivalence:
+    """Each kernel, every implementation, against the numpy oracle."""
+
+    @given(soa=level_views())
+    @settings(max_examples=40, deadline=None)
+    def test_level_responses_bit_identical(self, name, soa):
+        impl = implementation(name)
+        np.testing.assert_array_equal(
+            impl.level_responses(soa), reference.level_responses(soa)
+        )
+
+    @given(soa=level_views(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_box_scan_bit_identical(self, name, soa, data):
+        impl = implementation(name)
+        d, m = soa.coords.shape[1], soa.n_cells
+        rng = np.random.default_rng(data.draw(st.integers(0, 10_000)))
+        lo = rng.integers(0, soa.limit + 1, size=d).astype(np.int64)
+        hi = np.minimum(
+            lo + rng.integers(0, soa.limit + 1, size=d), soa.limit
+        ).astype(np.int64)
+        start = int(rng.integers(0, m + 1))
+        stop = int(rng.integers(start, m + 1))
+        np.testing.assert_array_equal(
+            impl.box_scan(soa, lo, hi, start, stop),
+            reference.box_scan(soa, lo, hi, start, stop),
+        )
+
+    @given(soa=level_views(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_six_region_bit_identical(self, name, soa, data):
+        impl = implementation(name)
+        d = soa.coords.shape[1]
+        position = data.draw(st.integers(0, soa.n_cells - 1))
+        rng = np.random.default_rng(data.draw(st.integers(0, 10_000)))
+        bits = rng.integers(0, 2, size=d).astype(np.int64)
+        center, total = impl.six_region(soa, position, bits)
+        ref_center, ref_total = reference.six_region(soa, position, bits)
+        np.testing.assert_array_equal(center, ref_center)
+        np.testing.assert_array_equal(total, ref_total)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        d=st.integers(1, 8),
+        alpha=st.sampled_from([1e-10, 1e-6, 1e-3, 0.05, 0.2]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_binom_thetas_match_after_adjudication(self, name, seed, d, alpha):
+        impl = implementation(name)
+        rng = np.random.default_rng(seed)
+        totals = rng.integers(0, 5_000, size=d).astype(np.int64)
+        probs = rng.choice(
+            np.array([1.0 / 6.0, 1.0 / 4.0, 0.1, 0.37]), size=d
+        ).astype(np.float64)
+        thetas, flags = impl.binom_thetas(totals, probs, alpha)
+        # Apply the caller-side contract: borderline axes go back to the
+        # scipy oracle, after which the result must be bit-identical.
+        borderline = np.flatnonzero(flags)
+        if borderline.size:
+            thetas = thetas.copy()
+            thetas[borderline] = critical_values(
+                totals[borderline], alpha, probability=probs[borderline]
+            )
+        expected, _ = reference.binom_thetas(totals, probs, alpha)
+        np.testing.assert_array_equal(thetas, expected)
+
+
+class TestBinomialTail:
+    @given(
+        n=st.integers(1, 20_000),
+        t=st.integers(-2, 20_000),
+        p=st.sampled_from([1.0 / 6.0, 1.0 / 4.0, 0.05, 0.37, 0.5]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_loop_tail_is_well_inside_the_guard_band(self, n, t, p):
+        # The bit-identity argument needs the kernel tail sum at least
+        # an order of magnitude more accurate than SF_GUARD_BAND, so a
+        # decision the kernel keeps cannot disagree with scipy.
+        ours = loops.binom_sf(n, p, t)
+        scipy_sf = float(stats.binom.sf(t, n, p))
+        assert ours == pytest.approx(
+            scipy_sf, rel=loops.SF_GUARD_BAND / 10.0, abs=1e-300
+        )
+
+    def test_boundaries_are_exact(self):
+        assert loops.binom_sf(10, 0.3, -1) == 1.0
+        assert loops.binom_sf(10, 0.3, 10) == 0.0
+
+    def test_guard_band_keeps_clear_decisions(self):
+        # A tail sum far from alpha must never be flagged: the kernels
+        # only defer to scipy near the cut.
+        totals = np.array([600], dtype=np.int64)
+        probs = np.array([1.0 / 6.0], dtype=np.float64)
+        _, flags = loops.binom_thetas(totals, probs, 1e-10)
+        assert flags[0] == 0
+
+
+@pytest.mark.parametrize("name", COMPILED or [None])
+class TestCrossBackendPipeline:
+    """End-to-end bit-identity: compiled backend versus numpy oracle."""
+
+    @pytest.fixture(autouse=True)
+    def _require_compiled(self, name):
+        if name is None:
+            pytest.skip("no compiled backend loads on this machine")
+
+    @pytest.fixture()
+    def dataset(self):
+        return generate_dataset(
+            SyntheticDatasetSpec(
+                dimensionality=8,
+                n_points=2_000,
+                n_clusters=3,
+                noise_fraction=0.15,
+                seed=29,
+            )
+        )
+
+    def test_beta_clusters_identical(self, name, dataset, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        oracle = find_beta_clusters(CountingTree(dataset.points), alpha=1e-10)
+        monkeypatch.setenv("REPRO_BACKEND", name)
+        betas = find_beta_clusters(CountingTree(dataset.points), alpha=1e-10)
+        assert len(betas) == len(oracle)
+        for ours, expected in zip(betas, oracle):
+            np.testing.assert_array_equal(ours.lower, expected.lower)
+            np.testing.assert_array_equal(ours.upper, expected.upper)
+            np.testing.assert_array_equal(ours.relevant, expected.relevant)
+
+    def test_labels_bit_identical(self, name, dataset, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        oracle = MrCC(normalize=False).fit(dataset.points)
+        monkeypatch.setenv("REPRO_BACKEND", name)
+        result = MrCC(normalize=False).fit(dataset.points)
+        assert result.n_clusters == oracle.n_clusters
+        np.testing.assert_array_equal(result.labels, oracle.labels)
+
+    def test_trace_counters_invariant_under_backend(
+        self, name, dataset, monkeypatch
+    ):
+        def traced_counters(backend):
+            monkeypatch.setenv("REPRO_BACKEND", backend)
+            with obs.capture() as tracer:
+                MrCC(normalize=False).fit(dataset.points)
+                return dict(tracer.counters)
+
+        assert traced_counters(name) == traced_counters("numpy")

@@ -332,6 +332,39 @@ class TestR009ExceptionHandling:
         assert codes(source, path=CORE_PATH) == []
 
 
+class TestR010NumbaImports:
+    BAD_IMPORT = "import numba\n"
+    BAD_FROM = "from numba import njit\n"
+    BAD_SUBMODULE = "import numba.core.types\n"
+    BAD_FROM_SUBMODULE = "from numba.core import types\n"
+    KERNELS_PATH = "src/repro/core/kernels/numba_backend.py"
+
+    def test_plain_import_fires(self):
+        assert codes(self.BAD_IMPORT, path=CORE_PATH) == ["R010"]
+
+    def test_from_import_fires(self):
+        assert codes(self.BAD_FROM, path=EXPERIMENTS_PATH) == ["R010"]
+
+    def test_submodule_import_fires(self):
+        assert codes(self.BAD_SUBMODULE, path=DATA_PATH) == ["R010"]
+
+    def test_from_submodule_fires(self):
+        assert codes(self.BAD_FROM_SUBMODULE, path=CORE_PATH) == ["R010"]
+
+    def test_kernels_package_is_exempt(self):
+        assert codes(self.BAD_FROM, path=self.KERNELS_PATH) == []
+
+    def test_tests_are_exempt(self):
+        assert codes(self.BAD_IMPORT, path=TEST_PATH) == []
+
+    def test_similar_prefix_is_clean(self):
+        assert codes("import numbats\n", path=CORE_PATH) == []
+
+    def test_line_suppression_silences_r010(self):
+        source = "import numba  # repro-lint: disable=R010\n"
+        assert codes(source, path=CORE_PATH) == []
+
+
 class TestSuppression:
     def test_line_suppression(self):
         source = "import numpy as np\nx = np.random.rand(3)  # repro-lint: disable=R001\n"

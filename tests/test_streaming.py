@@ -11,6 +11,7 @@ from repro.core.streaming import (
     build_tree_from_chunks,
     fit_stream,
     label_stream,
+    shard_level_arrays,
 )
 from repro.data.synthetic import SyntheticDatasetSpec, generate_dataset
 
@@ -150,3 +151,107 @@ class TestStreamingPipeline:
         _, betas = fit_stream(chunks)
         result = label_stream(chunks, betas)
         assert result.labels.shape == (stream_dataset.n_points,)
+
+
+def _levels_bit_identical(a, b):
+    """Element-wise equality — canonical key order, not just set equality."""
+    return (
+        np.array_equal(a.coords, b.coords)
+        and np.array_equal(a.n, b.n)
+        and np.array_equal(a.half_counts, b.half_counts)
+    )
+
+
+class TestShardedBuild:
+    """The process-sharded tree build must be bit-identical to serial.
+
+    An explicit ``n_jobs`` bypasses the point-count floor, so these
+    small datasets genuinely fan out over worker processes.
+    """
+
+    def test_sharded_tree_identical_to_serial(self, stream_dataset):
+        serial = CountingTree(stream_dataset.points, n_jobs=1)
+        sharded = CountingTree(stream_dataset.points, n_jobs=4)
+        assert sharded.n_points == serial.n_points
+        for h in serial.levels:
+            assert _levels_bit_identical(sharded.level(h), serial.level(h))
+
+    def test_shard_count_is_irrelevant(self, stream_dataset):
+        two = CountingTree(stream_dataset.points, n_jobs=2)
+        five = CountingTree(stream_dataset.points, n_jobs=5)
+        for h in two.levels:
+            assert _levels_bit_identical(two.level(h), five.level(h))
+
+    def test_fit_labels_bit_identical_across_n_jobs(self, stream_dataset):
+        serial = MrCC(normalize=False, n_jobs=1).fit(stream_dataset.points)
+        sharded = MrCC(normalize=False, n_jobs=4).fit(stream_dataset.points)
+        assert sharded.n_clusters == serial.n_clusters
+        assert np.array_equal(sharded.labels, serial.labels)
+
+    def test_deep_tree_coordinates_survive_the_merge(self):
+        # Levels with coordinates >= 256 exercise the multi-byte cell
+        # keys: the shard merge must order them numerically, exactly
+        # like the serial build.
+        rng = np.random.default_rng(41)
+        points = rng.uniform(0.0, 1.0, size=(4000, 2))
+        serial = CountingTree(points, n_resolutions=10, n_jobs=1)
+        sharded = CountingTree(points, n_resolutions=10, n_jobs=3)
+        deepest = max(serial.levels)
+        assert int(serial.level(deepest).coords.max()) >= 256
+        for h in serial.levels:
+            assert _levels_bit_identical(sharded.level(h), serial.level(h))
+
+    def test_rejects_non_positive_n_jobs(self, stream_dataset):
+        with pytest.raises(ValueError, match="n_jobs"):
+            CountingTree(stream_dataset.points, n_jobs=0)
+
+
+class TestAbsorbArrays:
+    """The reduce primitive: validation precedes every mutation."""
+
+    def _partial(self, points, n_resolutions=4):
+        return shard_level_arrays(points, n_resolutions)
+
+    def test_matches_chunk_absorb(self, stream_dataset):
+        halves = np.array_split(stream_dataset.points, 2)
+        via_chunks = TreeStreamBuilder()
+        via_arrays = TreeStreamBuilder()
+        for half in halves:
+            via_chunks.absorb(half)
+            via_arrays.absorb_arrays(
+                self._partial(half), n_points=int(half.shape[0])
+            )
+        a, b = via_chunks.build(), via_arrays.build()
+        for h in a.levels:
+            assert _levels_bit_identical(a.level(h), b.level(h))
+
+    def test_wrong_level_coverage_leaves_builder_unchanged(
+        self, stream_dataset
+    ):
+        builder = TreeStreamBuilder()
+        builder.absorb(stream_dataset.points)
+        partial = self._partial(stream_dataset.points)
+        del partial[max(partial)]
+        with pytest.raises(ValueError, match="levels"):
+            builder.absorb_arrays(partial, n_points=stream_dataset.n_points)
+        assert builder.n_points == stream_dataset.n_points
+        batch = CountingTree(stream_dataset.points)
+        tree = builder.build()
+        for h in batch.levels:
+            assert _levels_bit_identical(tree.level(h), batch.level(h))
+
+    def test_dimensionality_mismatch_rejected(self, stream_dataset):
+        builder = TreeStreamBuilder()
+        builder.absorb(stream_dataset.points)
+        alien = self._partial(np.zeros((8, 3)))
+        with pytest.raises(ValueError, match="dimensionality"):
+            builder.absorb_arrays(alien, n_points=8)
+        assert builder.n_points == stream_dataset.n_points
+
+    def test_non_positive_point_count_rejected(self, stream_dataset):
+        builder = TreeStreamBuilder()
+        with pytest.raises(ValueError, match="point"):
+            builder.absorb_arrays(
+                self._partial(stream_dataset.points), n_points=0
+            )
+        assert builder.n_points == 0

@@ -26,6 +26,7 @@ RULES: dict[str, str] = {
     "R007": "environment access outside repro.env",
     "R008": "direct timing calls outside repro.obs and benchmarks",
     "R009": "no bare or silently-swallowed except outside repro.resilience",
+    "R010": "no direct numba imports outside repro.core.kernels",
     "R000": "file could not be parsed",
 }
 
@@ -127,6 +128,7 @@ class PathContext:
     in_obs: bool
     in_benchmarks: bool
     in_resilience: bool
+    in_kernels: bool
 
     @staticmethod
     def classify(path: str) -> "PathContext":
@@ -148,6 +150,7 @@ class PathContext:
             in_obs="/repro/obs/" in normalized,
             in_benchmarks="benchmarks" in parts[:-1],
             in_resilience="/repro/resilience/" in normalized,
+            in_kernels="/repro/core/kernels/" in normalized,
         )
 
 
@@ -341,7 +344,44 @@ class _RuleVisitor(ast.NodeVisitor):
             )
         self.generic_visit(node)
 
+    # -- R010: numba stays behind the kernels backend layer -----------
+    # numba is an optional extra; direct imports elsewhere would make
+    # modules fail on machines without it and bypass the REPRO_BACKEND
+    # selection (and its bit-identity guarantees).  Only the kernels
+    # package may import it — everything else goes through
+    # repro.core.kernels.get_backend / active_backend.
+
+    @property
+    def _numba_rule_binds(self) -> bool:
+        return (
+            self.context.in_package
+            and not self.context.in_kernels
+            and not self.context.is_test
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if self._numba_rule_binds:
+            for alias in node.names:
+                if alias.name == "numba" or alias.name.startswith("numba."):
+                    self._add(
+                        node,
+                        "R010",
+                        f"direct import of {alias.name} outside "
+                        "repro.core.kernels (select compiled kernels via "
+                        "REPRO_BACKEND and repro.core.kernels instead)",
+                    )
+        self.generic_visit(node)
+
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self._numba_rule_binds and node.module is not None:
+            if node.module == "numba" or node.module.startswith("numba."):
+                self._add(
+                    node,
+                    "R010",
+                    f"direct import from {node.module} outside "
+                    "repro.core.kernels (select compiled kernels via "
+                    "REPRO_BACKEND and repro.core.kernels instead)",
+                )
         if self._env_rule_binds and node.module == "os":
             imported = {alias.name for alias in node.names}
             leaked = sorted(
