@@ -28,10 +28,14 @@ from typing import Any
 import numpy as np
 
 from repro.core.kernels.soa import LevelSoA
+from repro.env import cext_sanitize_from_env
 from repro.types import FloatArray, IntArray
 
 NAME = "cext"
 COMPILED = True
+
+_BASE_CFLAGS = ("-O3", "-shared", "-fPIC", "-Wall", "-Wextra", "-Werror")
+_SANITIZE_CFLAGS = ("-fsanitize=address,undefined", "-fno-omit-frame-pointer")
 
 _C_SOURCE = r"""
 #include <stdint.h>
@@ -208,9 +212,45 @@ def _compiler() -> str | None:
     return None
 
 
-def _shared_object(compiler: str) -> Path:
-    """Compile (once) into a content-addressed .so in the tmp dir."""
-    digest = hashlib.sha256(_C_SOURCE.encode("utf-8")).hexdigest()[:16]
+def _cflags(sanitize: bool) -> tuple[str, ...]:
+    return _BASE_CFLAGS + (_SANITIZE_CFLAGS if sanitize else ())
+
+
+def _compiler_identity(compiler: str) -> str:
+    """First ``--version`` line, or the resolved path when it has none.
+
+    Part of the content-address: a toolchain upgrade must miss the .so
+    cache even when the C source is byte-identical, because the compiled
+    artifact (instruction selection, libasan soname) is not.
+    """
+    try:
+        probe = subprocess.run(
+            [compiler, "--version"],
+            capture_output=True,
+            timeout=30,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        # A compiler that cannot even print its version will fail the
+        # build proper with a captured reason; hash on the path alone.
+        return compiler
+    first_line = probe.stdout.decode(errors="replace").splitlines()
+    return first_line[0].strip() if first_line else compiler
+
+
+def _shared_object(compiler: str, sanitize: bool) -> Path:
+    """Compile (once) into a content-addressed .so in the tmp dir.
+
+    The address covers everything that shapes the artifact: the C
+    source, the resolved compiler path, its ``--version`` banner, and
+    the exact flag list — so sanitized builds, plain builds and builds
+    by different toolchains each get their own cache slot.
+    """
+    flags = _cflags(sanitize)
+    identity = "\x00".join(
+        [_C_SOURCE, compiler, _compiler_identity(compiler), *flags]
+    )
+    digest = hashlib.sha256(identity.encode("utf-8")).hexdigest()[:16]
     cache_dir = Path(tempfile.gettempdir())
     target = cache_dir / f"repro_cext_{digest}.so"
     if target.exists():
@@ -220,8 +260,7 @@ def _shared_object(compiler: str) -> Path:
         source.write_text(_C_SOURCE, encoding="utf-8")
         built = Path(workdir) / "repro_kernels.so"
         subprocess.run(
-            [compiler, "-O3", "-shared", "-fPIC", str(source),
-             "-o", str(built), "-lm"],
+            [compiler, *flags, str(source), "-o", str(built), "-lm"],
             check=True,
             capture_output=True,
             timeout=120,
@@ -244,8 +283,9 @@ def load() -> dict[str, Any]:
     if compiler is None:
         _UNAVAILABLE_REASON = "no C compiler (cc/gcc/clang) on PATH"
         raise ImportError(_UNAVAILABLE_REASON)
+    sanitize = cext_sanitize_from_env()
     try:
-        lib = ctypes.CDLL(str(_shared_object(compiler)))
+        lib = ctypes.CDLL(str(_shared_object(compiler, sanitize)))
     except (OSError, subprocess.SubprocessError) as error:
         detail = ""
         if isinstance(error, subprocess.CalledProcessError):
@@ -277,7 +317,11 @@ def load() -> dict[str, Any]:
     def level_responses(soa: LevelSoA) -> IntArray:
         m, d = soa.coords.shape
         out = np.empty(m, dtype=np.int64)
-        lib.level_responses(soa.coords, soa.counts, m, d, soa.limit, out)
+        lib.level_responses(
+            np.ascontiguousarray(soa.coords, dtype=np.int64),
+            np.ascontiguousarray(soa.counts, dtype=np.int64),
+            m, d, soa.limit, out,
+        )
         return out
 
     def box_scan(
@@ -289,7 +333,7 @@ def load() -> dict[str, Any]:
         if span == 0:
             return out
         found = lib.box_scan(
-            soa.coords, m, d,
+            np.ascontiguousarray(soa.coords, dtype=np.int64), m, d,
             np.ascontiguousarray(lo, dtype=np.int64),
             np.ascontiguousarray(hi, dtype=np.int64),
             start, stop, out,
@@ -303,7 +347,10 @@ def load() -> dict[str, Any]:
         center = np.empty(d, dtype=np.int64)
         total = np.empty(d, dtype=np.int64)
         lib.six_region(
-            soa.coords, soa.counts, soa.half_counts, m, d, soa.limit,
+            np.ascontiguousarray(soa.coords, dtype=np.int64),
+            np.ascontiguousarray(soa.counts, dtype=np.int64),
+            np.ascontiguousarray(soa.half_counts, dtype=np.int64),
+            m, d, soa.limit,
             position, np.ascontiguousarray(bits, dtype=np.int64),
             center, total,
         )
@@ -325,7 +372,7 @@ def load() -> dict[str, Any]:
     _LOADED = {
         "name": NAME,
         "compiled": COMPILED,
-        "version": Path(compiler).name,
+        "version": Path(compiler).name + ("+asan" if sanitize else ""),
         "level_responses": level_responses,
         "box_scan": box_scan,
         "six_region": six_region,

@@ -4,6 +4,7 @@ Several environment variables steer the package without changing any
 result row: ``REPRO_JOBS`` (worker count for the experiment fan-out and
 the sharded Counting-tree build), ``REPRO_BACKEND`` (compute backend
 for the hot-path kernels — see :mod:`repro.core.kernels`),
+``REPRO_CEXT_SANITIZE`` (rebuild the C backend under ASan/UBSan),
 ``REPRO_PROFILE`` (``quick``/``full`` tuning grids), ``REPRO_CONTRACTS``
 (toggle for the O(n) data-scan half of the runtime contracts),
 ``REPRO_TRACE`` (the observability layer: off, on, or on plus a JSON
@@ -27,6 +28,7 @@ __all__ = [
     "KNOWN_BACKENDS",
     "backend_from_env",
     "backoff_from_env",
+    "cext_sanitize_from_env",
     "contracts_from_env",
     "faults_from_env",
     "jobs_from_env",
@@ -118,6 +120,30 @@ def contracts_from_env(default: bool = True) -> bool:
     raise ValueError(
         f"REPRO_CONTRACTS must be one of 1/0, true/false, on/off, yes/no; "
         f"got {raw!r}"
+    )
+
+
+def cext_sanitize_from_env(default: bool = False) -> bool:
+    """Whether the C backend builds under ASan/UBSan (``REPRO_CEXT_SANITIZE``).
+
+    A true value rebuilds the shared object with
+    ``-fsanitize=address,undefined -fno-omit-frame-pointer`` so the
+    kernel and streaming suites can run the transliterated loops under
+    the sanitizers; the flags participate in the content-address, so
+    sanitized and plain builds never collide in the cache.  Accepts
+    ``1/true/on/yes`` and ``0/false/off/no`` (case-insensitive); unset
+    or blank means ``default``.
+    """
+    raw = os.environ.get("REPRO_CEXT_SANITIZE", "").strip().lower()
+    if not raw:
+        return default
+    if raw in _TRUE_VALUES:
+        return True
+    if raw in _FALSE_VALUES:
+        return False
+    raise ValueError(
+        f"REPRO_CEXT_SANITIZE must be one of 1/0, true/false, on/off, "
+        f"yes/no; got {raw!r}"
     )
 
 

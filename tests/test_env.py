@@ -6,6 +6,7 @@ from repro.env import (
     KNOWN_BACKENDS,
     backend_from_env,
     backoff_from_env,
+    cext_sanitize_from_env,
     contracts_from_env,
     faults_from_env,
     jobs_from_env,
@@ -139,6 +140,28 @@ class TestContractsFromEnv:
         monkeypatch.setenv("REPRO_CONTRACTS", "maybe")
         with pytest.raises(ValueError, match="REPRO_CONTRACTS.*'maybe'"):
             contracts_from_env()
+
+
+class TestCextSanitizeFromEnv:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CEXT_SANITIZE", raising=False)
+        assert cext_sanitize_from_env() is False
+        assert cext_sanitize_from_env(default=True) is True
+
+    @pytest.mark.parametrize("raw", ["1", "true", "ON", "yes"])
+    def test_truthy_values(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_CEXT_SANITIZE", raw)
+        assert cext_sanitize_from_env() is True
+
+    @pytest.mark.parametrize("raw", ["0", "false", "OFF", "no"])
+    def test_falsy_values(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_CEXT_SANITIZE", raw)
+        assert cext_sanitize_from_env() is False
+
+    def test_garbage_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CEXT_SANITIZE", "asan")
+        with pytest.raises(ValueError, match="REPRO_CEXT_SANITIZE.*'asan'"):
+            cext_sanitize_from_env()
 
 
 class TestRetriesFromEnv:

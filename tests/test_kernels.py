@@ -12,6 +12,8 @@ their own, so the compiled semantics stay covered on machines where no
 compiled backend loads.
 """
 
+import types
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -20,6 +22,7 @@ from scipy import stats
 
 from repro import obs
 from repro.core import kernels
+from repro.core.kernels import cext_backend, numba_backend
 from repro.core.beta_cluster import find_beta_clusters
 from repro.core.counting_tree import CountingTree, void_keys
 from repro.core.hypothesis_test import critical_values
@@ -153,6 +156,128 @@ class TestBackendSelection:
         after = kernels.active_backend()
         assert after.name == before.name
         assert after is not before
+
+
+class TestCextFailurePaths:
+    """Every way the C build can fail must degrade with a named reason."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_caches(self, monkeypatch):
+        monkeypatch.setattr(cext_backend, "_LOADED", None)
+        monkeypatch.setattr(cext_backend, "_UNAVAILABLE_REASON", None)
+        kernels.reset_backends()
+        yield
+        kernels.reset_backends()
+
+    def test_missing_compiler_reason_is_captured(self, monkeypatch):
+        monkeypatch.setattr(cext_backend.shutil, "which", lambda name: None)
+        with pytest.raises(ImportError, match="no C compiler"):
+            cext_backend.load()
+        # The failure is memoized: the retry re-raises without re-probing.
+        with pytest.raises(ImportError, match="no C compiler"):
+            cext_backend.load()
+        with pytest.raises(
+            kernels.BackendUnavailableError, match="no C compiler"
+        ):
+            kernels.get_backend("cext")
+
+    def test_compile_error_reason_is_captured(self, monkeypatch):
+        if cext_backend._compiler() is None:
+            pytest.skip("no C compiler on PATH")
+        monkeypatch.setattr(
+            cext_backend, "_C_SOURCE", "int broken(void { return 0; }\n"
+        )
+        with pytest.raises(ImportError, match="C kernel build failed"):
+            cext_backend.load()
+        assert "CalledProcessError" in cext_backend._UNAVAILABLE_REASON
+
+    def test_unlinkable_shared_object_is_captured(self, monkeypatch):
+        if cext_backend._compiler() is None:
+            pytest.skip("no C compiler on PATH")
+
+        def refuse(path):
+            raise OSError("not a linkable shared object")
+
+        monkeypatch.setattr(cext_backend.ctypes, "CDLL", refuse)
+        with pytest.raises(ImportError, match="OSError"):
+            cext_backend.load()
+        with pytest.raises(kernels.BackendUnavailableError, match="OSError"):
+            kernels.get_backend("cext")
+
+    def test_auto_degrades_to_numpy_when_compiled_backends_fail(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(cext_backend.shutil, "which", lambda name: None)
+
+        def no_numba():
+            raise ImportError("numba disabled for this test")
+
+        monkeypatch.setattr(numba_backend, "load", no_numba)
+        monkeypatch.setenv("REPRO_BACKEND", "auto")
+        backend = kernels.active_backend()
+        assert backend.name == "numpy"
+        assert kernels.backend_info()["available"] == ["numpy"]
+
+
+class TestSanitizedBuild:
+    """The REPRO_CEXT_SANITIZE knob and the hardened default flags."""
+
+    def test_default_flags_are_hardened(self):
+        flags = cext_backend._cflags(sanitize=False)
+        for flag in ("-Wall", "-Wextra", "-Werror"):
+            assert flag in flags
+        assert not any(flag.startswith("-fsanitize") for flag in flags)
+
+    def test_sanitize_adds_asan_ubsan(self):
+        flags = cext_backend._cflags(sanitize=True)
+        assert "-fsanitize=address,undefined" in flags
+        assert "-fno-omit-frame-pointer" in flags
+
+    def test_sanitize_changes_the_content_address(self):
+        compiler = cext_backend._compiler()
+        if compiler is None:
+            pytest.skip("no C compiler on PATH")
+        plain = cext_backend._shared_object(compiler, sanitize=False)
+        hardened = cext_backend._shared_object(compiler, sanitize=True)
+        assert plain != hardened
+        assert plain.exists() and hardened.exists()
+
+    def test_compiler_identity_feeds_the_hash(self, monkeypatch):
+        compiler = cext_backend._compiler()
+        if compiler is None:
+            pytest.skip("no C compiler on PATH")
+        assert cext_backend._compiler_identity(compiler)
+        baseline = cext_backend._shared_object(compiler, sanitize=False)
+        # A toolchain swap (same path, new banner) must miss the cache.
+        monkeypatch.setattr(
+            cext_backend, "_compiler_identity", lambda c: "other-cc 99.9"
+        )
+        assert (
+            cext_backend._shared_object(compiler, sanitize=False) != baseline
+        )
+
+    def test_version_reports_the_sanitized_build(self, monkeypatch):
+        if "cext" not in AVAILABLE:
+            pytest.skip("cext backend does not load on this machine")
+
+        # Never dlopen here: loading an ASan .so into an unsanitized
+        # interpreter aborts the process unless libasan is LD_PRELOADed.
+        class _StubLib:
+            def __getattr__(self, name):
+                fn = types.SimpleNamespace(argtypes=None, restype=None)
+                setattr(self, name, fn)
+                return fn
+
+        monkeypatch.setattr(
+            cext_backend.ctypes, "CDLL", lambda path: _StubLib()
+        )
+        monkeypatch.setattr(cext_backend, "_UNAVAILABLE_REASON", None)
+        monkeypatch.setattr(cext_backend, "_LOADED", None)
+        monkeypatch.delenv("REPRO_CEXT_SANITIZE", raising=False)
+        assert "+asan" not in cext_backend.load()["version"]
+        monkeypatch.setattr(cext_backend, "_LOADED", None)
+        monkeypatch.setenv("REPRO_CEXT_SANITIZE", "1")
+        assert "+asan" in cext_backend.load()["version"]
 
 
 @pytest.mark.parametrize("name", IMPL_NAMES)

@@ -13,6 +13,9 @@ from tools.repro_analyze import (
     Finding,
     Project,
     analyze_contracts,
+    analyze_determinism,
+    analyze_equivalence,
+    analyze_ffi,
     analyze_purity,
     analyze_shapes,
     apply_baseline,
@@ -586,6 +589,452 @@ class TestContractsPass:
             },
         )
         assert analyze_contracts(project, packages=("pkg",)) == []
+
+
+# A small FFI binding module in the shape of the real cext backend; the
+# injected-divergence tests below mutate one line at a time.
+FFI_FIXTURE = '''
+import ctypes
+
+import numpy as np
+
+from repro.types import IntArray
+
+_C_SOURCE = r"""
+void scale(const int64_t *values, int64_t n, int64_t *out) {
+    for (int64_t i = 0; i < n; i++) out[i] = 2 * values[i];
+}
+"""
+
+_I64P = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+
+def bind(lib):
+    lib.scale.restype = None
+    lib.scale.argtypes = [_I64P, ctypes.c_int64, _I64P]
+
+    def scale(values: IntArray) -> IntArray:
+        n = values.shape[0]
+        out = np.empty(n, dtype=np.int64)
+        lib.scale(np.ascontiguousarray(values, dtype=np.int64), n, out)
+        return out
+
+    return scale
+'''
+
+
+class TestFFIPass:
+    """A4: C prototypes vs ctypes bindings vs call sites."""
+
+    def _analyze(self, tmp_path, source):
+        project = make_project(tmp_path, {"cext_mod.py": source})
+        return analyze_ffi(project, cext_module="cext_mod")
+
+    def test_clean_fixture_has_no_findings(self, tmp_path):
+        assert self._analyze(tmp_path, FFI_FIXTURE) == []
+
+    def test_signature_drift_flagged(self, tmp_path):
+        # The injected divergence: the length parameter binds c_double
+        # while the C prototype declares int64_t.
+        drifted = FFI_FIXTURE.replace("ctypes.c_int64", "ctypes.c_double")
+        findings = self._analyze(tmp_path, drifted)
+        assert codes(findings) == ["A401"]
+        assert "float64" in findings[0].message
+        assert findings[0].symbol == "cext_mod.scale"
+
+    def test_arity_drift_flagged(self, tmp_path):
+        drifted = FFI_FIXTURE.replace("_I64P, ctypes.c_int64, _I64P", "_I64P")
+        findings = self._analyze(tmp_path, drifted)
+        assert "A401" in codes(findings)
+        assert any("1 entries" in f.message for f in findings)
+
+    def test_unbound_export_and_orphan_binding_flagged(self, tmp_path):
+        drifted = FFI_FIXTURE.replace("lib.scale.argtypes", "lib.scan.argtypes")
+        findings = self._analyze(tmp_path, drifted)
+        assert codes(findings) == ["A401", "A401"]
+        messages = " | ".join(f.message for f in findings)
+        assert "no ctypes argtypes binding" in messages
+        assert "no exported C function" in messages
+
+    def test_missing_contiguity_flag_flagged(self, tmp_path):
+        drifted = FFI_FIXTURE.replace(', flags="C_CONTIGUOUS"', "")
+        findings = self._analyze(tmp_path, drifted)
+        assert set(codes(findings)) == {"A401"}
+        assert any("C_CONTIGUOUS" in f.message for f in findings)
+
+    def test_unpaired_pointer_flagged(self, tmp_path):
+        source = FFI_FIXTURE.replace(
+            'void scale(const int64_t *values, int64_t n, int64_t *out) {\n'
+            '    for (int64_t i = 0; i < n; i++) out[i] = 2 * values[i];\n'
+            '}',
+            'void scale(const int64_t *values, int64_t n, int64_t *out) {\n'
+            '    for (int64_t i = 0; i < n; i++) out[i] = 2 * values[i];\n'
+            '}\n'
+            'void seed_out(int64_t *out, double alpha) {\n'
+            '    out[0] = (int64_t)alpha;\n'
+            '}',
+        ).replace(
+            "lib.scale.restype = None",
+            "lib.scale.restype = None\n"
+            "    lib.seed_out.restype = None\n"
+            "    lib.seed_out.argtypes = [_I64P, ctypes.c_double]",
+        )
+        findings = self._analyze(tmp_path, source)
+        assert codes(findings) == ["A402"]
+        assert "'out'" in findings[0].message
+        assert "no integer length parameter" in findings[0].message
+
+    def test_data_derived_index_flagged(self, tmp_path):
+        # values[j] where j was itself read out of the array: data,
+        # never a bound.
+        source = FFI_FIXTURE.replace(
+            "out[i] = 2 * values[i];",
+            "int64_t j = values[i];\n        out[i] = values[j];",
+        )
+        findings = self._analyze(tmp_path, source)
+        assert codes(findings) == ["A402"]
+        assert "'j'" in findings[0].message
+
+    def test_bounded_counter_cycle_is_not_flagged(self, tmp_path):
+        # low/mid/high step from each other (a binary search); none of
+        # them reads data, so the mutually recursive group stays
+        # bounded.
+        source = FFI_FIXTURE.replace(
+            "for (int64_t i = 0; i < n; i++) out[i] = 2 * values[i];",
+            "int64_t low = 0, high = n;\n"
+            "    while (low < high) {\n"
+            "        int64_t mid = (low + high) / 2;\n"
+            "        if (values[mid] < 0) low = mid + 1; else high = mid;\n"
+            "    }\n"
+            "    out[0] = low;",
+        )
+        assert self._analyze(tmp_path, source) == []
+
+    def test_unproven_call_site_flagged(self, tmp_path):
+        # The injected divergence: the guard is dropped, so the call
+        # pushes a possibly non-contiguous view through the ndpointer.
+        drifted = FFI_FIXTURE.replace(
+            "np.ascontiguousarray(values, dtype=np.int64)", "values"
+        )
+        findings = self._analyze(tmp_path, drifted)
+        assert codes(findings) == ["A403"]
+        assert "not provably" in findings[0].message
+
+    def test_wrong_dtype_call_site_flagged(self, tmp_path):
+        drifted = FFI_FIXTURE.replace(
+            "out = np.empty(n, dtype=np.int64)",
+            "out = np.empty(n, dtype=np.float64)",
+        )
+        findings = self._analyze(tmp_path, drifted)
+        assert codes(findings) == ["A403"]
+        assert "float64" in findings[0].message
+
+    def test_module_without_c_source_is_ignored(self, tmp_path):
+        project = make_project(tmp_path, {"cext_mod.py": "X = 1\n"})
+        assert analyze_ffi(project, cext_module="cext_mod") == []
+
+
+LOOPS_FIXTURE = """
+SF_GUARD_BAND = 1e-6
+
+def scale(values, out):
+    for i in range(values.shape[0]):
+        out[i] = 2 * values[i]
+"""
+
+NUMBA_FIXTURE = """
+import loops_mod as loops
+
+compiled_scale = jit(loops.scale)
+
+def scale(values, out):
+    return compiled_scale(values, out)
+"""
+
+CEXT_EQ_FIXTURE = '''
+_C_SOURCE = r"""
+#define SF_GUARD_BAND 1e-6
+
+void scale(const int64_t *values, int64_t n, int64_t *out) {
+    for (int64_t i = 0; i < n; i++) out[i] = 2 * values[i];
+}
+"""
+'''
+
+
+class TestEquivalencePass:
+    """A5: shared-body dispatch, loop skeletons, constants."""
+
+    def _analyze(self, tmp_path, files):
+        project = make_project(tmp_path, files)
+        return analyze_equivalence(
+            project,
+            loops_module="loops_mod",
+            numba_module="numba_mod",
+            cext_module="cext_mod",
+        )
+
+    def test_clean_fixture_has_no_findings(self, tmp_path):
+        findings = self._analyze(
+            tmp_path,
+            {
+                "loops_mod.py": LOOPS_FIXTURE,
+                "numba_mod.py": NUMBA_FIXTURE,
+                "cext_mod.py": CEXT_EQ_FIXTURE,
+            },
+        )
+        assert findings == []
+
+    def test_private_numba_loop_copy_flagged(self, tmp_path):
+        # The injected divergence: the backend keeps a loop-bearing
+        # namesake instead of jitting the shared body.  It still
+        # references loops.scale, so the only finding is the copy.
+        findings = self._analyze(
+            tmp_path,
+            {
+                "loops_mod.py": LOOPS_FIXTURE,
+                "numba_mod.py": """
+                import loops_mod as loops
+
+                _shared = loops.scale
+
+                def scale(values, out):
+                    for i in range(values.shape[0]):
+                        out[i] = 2 * values[i]
+                """,
+                "cext_mod.py": CEXT_EQ_FIXTURE,
+            },
+        )
+        assert codes(findings) == ["A501"]
+        assert "private copy" in findings[0].message
+        assert "duplicate" in findings[0].message
+
+    def test_unreferenced_kernel_flagged(self, tmp_path):
+        findings = self._analyze(
+            tmp_path,
+            {
+                "loops_mod.py": LOOPS_FIXTURE,
+                "numba_mod.py": "import loops_mod as loops\n",
+                "cext_mod.py": CEXT_EQ_FIXTURE,
+            },
+        )
+        assert codes(findings) == ["A501"]
+        assert "never references" in findings[0].message
+
+    def test_skeleton_divergence_flagged(self, tmp_path):
+        # The injected divergence: the C side nests a second loop the
+        # Python body does not have.
+        diverged = CEXT_EQ_FIXTURE.replace(
+            "for (int64_t i = 0; i < n; i++) out[i] = 2 * values[i];",
+            "for (int64_t i = 0; i < n; i++)\n"
+            "        for (int64_t k = 0; k < n; k++)\n"
+            "            out[i] = 2 * values[k];",
+        )
+        findings = self._analyze(
+            tmp_path,
+            {
+                "loops_mod.py": LOOPS_FIXTURE,
+                "numba_mod.py": NUMBA_FIXTURE,
+                "cext_mod.py": diverged,
+            },
+        )
+        assert codes(findings) == ["A502"]
+        assert "[F(F)]" in findings[0].message
+        assert "[F]" in findings[0].message
+
+    def test_constant_mismatch_flagged(self, tmp_path):
+        # The injected divergence: the C guard band is an order of
+        # magnitude wider than the Python definition.
+        findings = self._analyze(
+            tmp_path,
+            {
+                "loops_mod.py": LOOPS_FIXTURE,
+                "numba_mod.py": NUMBA_FIXTURE,
+                "cext_mod.py": CEXT_EQ_FIXTURE.replace(
+                    "#define SF_GUARD_BAND 1e-6",
+                    "#define SF_GUARD_BAND 1e-5",
+                ),
+            },
+        )
+        assert codes(findings) == ["A503"]
+        assert "1e-5" in findings[0].message
+
+    def test_define_without_counterpart_flagged(self, tmp_path):
+        findings = self._analyze(
+            tmp_path,
+            {
+                "loops_mod.py": LOOPS_FIXTURE,
+                "numba_mod.py": NUMBA_FIXTURE,
+                "cext_mod.py": CEXT_EQ_FIXTURE.replace(
+                    "#define SF_GUARD_BAND 1e-6",
+                    "#define SF_GUARD_BAND 1e-6\n#define EXTRA_KNOB 3.0",
+                ),
+            },
+        )
+        assert codes(findings) == ["A503"]
+        assert "EXTRA_KNOB" in findings[0].message
+
+    def test_private_python_constant_pairs_with_bare_define(self, tmp_path):
+        findings = self._analyze(
+            tmp_path,
+            {
+                "loops_mod.py": LOOPS_FIXTURE.replace(
+                    "SF_GUARD_BAND = 1e-6", "_SF_GUARD_BAND = 1e-6"
+                ),
+                "numba_mod.py": NUMBA_FIXTURE,
+                "cext_mod.py": CEXT_EQ_FIXTURE,
+            },
+        )
+        assert findings == []
+
+
+class TestDeterminismPass:
+    """A6: dispatch roots and worker-visible state."""
+
+    def _analyze(self, project):
+        return analyze_determinism(project, CallGraph(project))
+
+    def test_unordered_worker_reduce_flagged(self, tmp_path):
+        # The injected divergence: folding float results in completion
+        # order.  as_completed is A601; the += over .result() is A602.
+        project = make_project(
+            tmp_path,
+            {
+                "fold.py": """
+                from concurrent.futures import ProcessPoolExecutor
+                from concurrent.futures import as_completed
+
+                def task(x):
+                    return x * 0.5
+
+                def run(items):
+                    total = 0.0
+                    with ProcessPoolExecutor() as pool:
+                        futures = [pool.submit(task, i) for i in items]
+                        for future in as_completed(futures):
+                            total += future.result()
+                    return total
+                """
+            },
+        )
+        findings = self._analyze(project)
+        assert codes(findings) == ["A601", "A602"]
+        assert "as_completed" in findings[0].message
+        assert "submission order" in findings[1].message
+
+    def test_submission_order_reduce_is_clean(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "ordered.py": """
+                from concurrent.futures import ProcessPoolExecutor
+
+                def task(x):
+                    return x * 0.5
+
+                def run(items):
+                    out = []
+                    done = 0
+                    with ProcessPoolExecutor() as pool:
+                        futures = [pool.submit(task, i) for i in items]
+                        for item, future in zip(items, futures):
+                            out.append((item, future.result()))
+                            done += int(future.result())
+                    return out, done
+                """
+            },
+        )
+        assert self._analyze(project) == []
+
+    def test_sum_of_results_flagged(self, tmp_path):
+        project = make_project(
+            tmp_path,
+            {
+                "summed.py": """
+                from concurrent.futures import ProcessPoolExecutor
+
+                def task(x):
+                    return x * 0.5
+
+                def run(items):
+                    with ProcessPoolExecutor() as pool:
+                        futures = [pool.submit(task, i) for i in items]
+                        return sum(f.result() for f in futures)
+                """
+            },
+        )
+        findings = self._analyze(project)
+        assert codes(findings) == ["A602"]
+        assert "sum(...)" in findings[0].message
+
+    def test_set_iteration_outside_dispatch_path_not_flagged(self, tmp_path):
+        # The same iteration in a function that neither dispatches nor
+        # runs in a worker is out of scope (R003's territory, not A6's).
+        project = make_project(
+            tmp_path,
+            {
+                "plain.py": """
+                def tally(values):
+                    return [v for v in {1, 2, 3} if v in values]
+                """
+            },
+        )
+        assert self._analyze(project) == []
+
+    def test_mutable_worker_state_flagged(self, tmp_path):
+        # The injected divergences: a mutable default on the worker and
+        # a module-level dict the parent mutates after forking.
+        project = make_project(
+            tmp_path,
+            {
+                "state.py": """
+                from concurrent.futures import ProcessPoolExecutor
+
+                _CACHE = {}
+
+                def configure(value):
+                    _CACHE["mode"] = value
+
+                def task(x, acc=[]):
+                    acc.append(x)
+                    return len(acc) + len(_CACHE)
+
+                def run(items):
+                    with ProcessPoolExecutor() as pool:
+                        return list(pool.map(task, items))
+                """
+            },
+        )
+        findings = self._analyze(project)
+        assert codes(findings) == ["A603", "A603"]
+        messages = " | ".join(f.message for f in findings)
+        assert "mutable default" in messages
+        assert "_CACHE" in messages
+        assert all(f.symbol == "state.task" for f in findings)
+
+    def test_worker_local_mutation_is_clean(self, tmp_path):
+        # A memo the worker itself maintains is per-process state with
+        # no parent-side mutator: the A201/A603 boundary.
+        project = make_project(
+            tmp_path,
+            {
+                "memo.py": """
+                from concurrent.futures import ProcessPoolExecutor
+
+                _MEMO = {}
+
+                def task(x):
+                    if x not in _MEMO:
+                        _MEMO[x] = x * 0.5
+                    return _MEMO[x]
+
+                def run(items):
+                    with ProcessPoolExecutor() as pool:
+                        return list(pool.map(task, items))
+                """
+            },
+        )
+        findings = self._analyze(project)
+        assert codes(findings) == []
 
 
 class TestBaseline:

@@ -365,6 +365,45 @@ class TestR010NumbaImports:
         assert codes(source, path=CORE_PATH) == []
 
 
+class TestR011CtypesImports:
+    BAD_IMPORT = "import ctypes\n"
+    BAD_FROM = "from ctypes import CDLL\n"
+    BAD_SUBMODULE = "import ctypes.util\n"
+    BAD_FROM_SUBMODULE = "from ctypes.util import find_library\n"
+    CEXT_PATH = "src/repro/core/kernels/cext_backend.py"
+    KERNELS_PATH = "src/repro/core/kernels/numba_backend.py"
+
+    def test_plain_import_fires(self):
+        assert codes(self.BAD_IMPORT, path=CORE_PATH) == ["R011"]
+
+    def test_from_import_fires(self):
+        assert codes(self.BAD_FROM, path=EXPERIMENTS_PATH) == ["R011"]
+
+    def test_submodule_import_fires(self):
+        assert codes(self.BAD_SUBMODULE, path=DATA_PATH) == ["R011"]
+
+    def test_from_submodule_fires(self):
+        assert codes(self.BAD_FROM_SUBMODULE, path=CORE_PATH) == ["R011"]
+
+    def test_cext_backend_module_is_exempt(self):
+        assert codes(self.BAD_IMPORT, path=self.CEXT_PATH) == []
+
+    def test_rest_of_kernels_package_is_not_exempt(self):
+        # Unlike R010's package-wide carve-out, only the one audited
+        # binding module may touch ctypes.
+        assert codes(self.BAD_IMPORT, path=self.KERNELS_PATH) == ["R011"]
+
+    def test_tests_are_exempt(self):
+        assert codes(self.BAD_IMPORT, path=TEST_PATH) == []
+
+    def test_similar_prefix_is_clean(self):
+        assert codes("import ctypeslib\n", path=CORE_PATH) == []
+
+    def test_line_suppression_silences_r011(self):
+        source = "import ctypes  # repro-lint: disable=R011\n"
+        assert codes(source, path=CORE_PATH) == []
+
+
 class TestSuppression:
     def test_line_suppression(self):
         source = "import numpy as np\nx = np.random.rand(3)  # repro-lint: disable=R001\n"

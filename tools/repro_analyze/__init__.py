@@ -1,6 +1,6 @@
 """Interprocedural static analysis for the repro package.
 
-Three passes over one shared project model and call graph:
+Six passes over one shared project model and call graph:
 
 * :mod:`.shapes` (``A1xx``) — shape/dtype dataflow through
   ``repro.core``: narrowing casts, platform-dependent integer widths,
@@ -11,6 +11,17 @@ Three passes over one shared project model and call graph:
 * :mod:`.contracts_check` (``A3xx``) — every public entry point of
   ``repro.core``/``repro.baselines`` must route its array parameters
   through ``repro.core.contracts.check_*``.
+* :mod:`.ffi` (``A4xx``) — the FFI contract of the cext backend: C
+  prototypes vs ctypes bindings, pointer/length pairing, call-site
+  dtype/contiguity proofs.
+* :mod:`.equivalence` (``A5xx``) — backend equivalence: the numba
+  backend dispatches to the shared loops bodies, the C transliteration
+  matches their loop skeletons, ``#define`` constants equal the Python
+  definitions.
+* :mod:`.determinism` (``A6xx``) — cross-process determinism of the
+  dispatch roots and worker closures: no unordered iteration,
+  order-sensitive reductions, or parent-mutated state visible to
+  workers.
 
 Run with ``python -m tools.repro_analyze [roots…]``; accepted findings
 live in ``baseline.txt`` next to this package, one commented
@@ -27,6 +38,9 @@ from .baseline import (
 from .callgraph import CallGraph
 from .cli import collect_findings, main
 from .contracts_check import analyze_contracts
+from .determinism import analyze_determinism
+from .equivalence import analyze_equivalence
+from .ffi import analyze_ffi
 from .findings import CODES, Finding
 from .project import Project
 from .purity import analyze_purity, find_parallel_entries
@@ -40,6 +54,9 @@ __all__ = [
     "Finding",
     "Project",
     "analyze_contracts",
+    "analyze_determinism",
+    "analyze_equivalence",
+    "analyze_ffi",
     "analyze_purity",
     "analyze_shapes",
     "apply_baseline",

@@ -1,6 +1,6 @@
 """Command line driver: ``python -m tools.repro_analyze [roots…]``.
 
-Runs the three passes over one shared :class:`Project`/call graph,
+Runs the six passes over one shared :class:`Project`/call graph,
 subtracts the committed baseline, and exits
 
 * ``0`` — tree clean (no findings beyond the baseline),
@@ -24,6 +24,9 @@ from .baseline import (
 )
 from .callgraph import CallGraph
 from .contracts_check import analyze_contracts
+from .determinism import analyze_determinism
+from .equivalence import analyze_equivalence
+from .ffi import analyze_ffi
 from .findings import CODES, Finding
 from .project import Project
 from .purity import analyze_purity
@@ -31,7 +34,7 @@ from .shapes import analyze_shapes
 
 
 def collect_findings(roots: list[str]) -> list[Finding]:
-    """All three passes over one shared project and call graph."""
+    """All six passes over one shared project and call graph."""
     project = Project.load(roots)
     findings: list[Finding] = [
         Finding(
@@ -48,6 +51,9 @@ def collect_findings(roots: list[str]) -> list[Finding]:
     findings.extend(analyze_shapes(project))
     findings.extend(analyze_purity(project, graph))
     findings.extend(analyze_contracts(project))
+    findings.extend(analyze_ffi(project))
+    findings.extend(analyze_equivalence(project))
+    findings.extend(analyze_determinism(project, graph))
     return sorted(set(findings))
 
 

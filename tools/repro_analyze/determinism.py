@@ -1,0 +1,435 @@
+"""Pass A6: cross-process determinism of the parallel dispatch paths.
+
+``REPRO_JOBS`` promises that a parallel run reproduces the serial run
+bit for bit.  Pass A2 proves the *workers* pure; this pass covers the
+other half of the contract — the parent-side code that fans work out
+and folds results back in, plus the state a worker can observe that
+the parent mutates.  Scope is deliberately tight: the checks bind in
+*dispatch roots* (functions that contain a ``pool.submit``/``map`` or
+``run_supervised`` call) and in the worker closure, not across the
+whole tree, because that is where iteration order and reduction order
+become result-affecting.
+
+``A601``
+    Unordered iteration in a dispatch root or worker: looping over a
+    set expression, over ``as_completed(…)`` (completion order is
+    scheduling noise), or over an unsorted directory listing
+    (``os.listdir``/``scandir``, ``Path.iterdir``/``glob``).  The
+    sanctioned pattern is the submission-order reduce
+    (``for shard, future in zip(shards, futures)``).
+``A602``
+    Order-sensitive reduction of worker results in a dispatch root:
+    ``sum(…)`` or ``+=`` accumulation over values derived from
+    ``.result()`` / dispatch returns.  Float addition is not
+    associative, so the fold order must be pinned; worker results are
+    routed through the associative, key-grouped primitives
+    (``merge_level_arrays`` / ``absorb_arrays``) or an explicit
+    submission-order loop instead.  ``int(…)``/``len(…)``-wrapped
+    accumulations are exempt — integer addition commutes exactly.
+``A603``
+    Mutable state reachable by worker closures: a mutable default
+    argument on a worker function (one object shared across calls
+    *within* a worker, fresh per process — the classic divergence
+    between ``n_jobs=1`` and ``n_jobs=N``), or a worker reading a
+    module-level mutable container that some function *outside* the
+    closure mutates (fork-inherited state: the worker sees a snapshot
+    whose content depends on dispatch timing and start method).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .callgraph import CallGraph
+from .findings import Finding
+from .project import FunctionInfo, ModuleInfo, Project, dotted_name
+from .purity import (
+    _imports_executor,
+    _is_pool_dispatch,
+    _is_supervised_dispatch,
+    _local_names,
+    find_parallel_entries,
+)
+
+#: Callables returning sequences with no deterministic order.
+_UNORDERED_CALLS = frozenset(
+    {"as_completed", "listdir", "scandir", "iterdir", "glob", "rglob"}
+)
+
+#: Container-mutating method names (shared with the purity pass's view).
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "clear",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "popitem",
+    }
+)
+
+#: Top-level wrappers that make an accumulation exactly associative.
+_EXACT_WRAPPERS = frozenset({"int", "len", "bool"})
+
+
+def analyze_determinism(project: Project, graph: CallGraph) -> list[Finding]:
+    """Run pass A6 over dispatch roots and the worker closure."""
+    entries = find_parallel_entries(project)
+    worker_roots = sorted({entry.qualname for entry in entries})
+    worker_closure = graph.reachable(worker_roots) if worker_roots else set()
+
+    findings: list[Finding] = []
+    for info in _dispatch_roots(project):
+        findings.extend(_check_unordered_iteration(info))
+        findings.extend(_check_reductions(info))
+    for qualname in sorted(worker_closure):
+        info = project.functions.get(qualname)
+        if info is None:
+            continue
+        findings.extend(_check_unordered_iteration(info))
+        findings.extend(_check_worker_state(project, info, worker_closure))
+    return sorted(set(findings))
+
+
+def _dispatch_roots(project: Project) -> list[FunctionInfo]:
+    """Functions whose own body (nested defs excluded) dispatches work."""
+    roots: list[FunctionInfo] = []
+    for module in project.modules.values():
+        pool_possible = _imports_executor(module)
+        for info in module.functions.values():
+            for node in _own_nodes(info.node):
+                if (
+                    isinstance(node, ast.Call)
+                    and node.args
+                    and (
+                        _is_pool_dispatch(node, pool_possible)
+                        or _is_supervised_dispatch(node)
+                    )
+                ):
+                    roots.append(info)
+                    break
+    return roots
+
+
+def _own_nodes(node: ast.AST) -> list[ast.AST]:
+    """Every node of a function body, nested function subtrees excluded."""
+    out: list[ast.AST] = []
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        out.append(current)
+        stack.extend(ast.iter_child_nodes(current))
+    return out
+
+
+# -- A601: unordered iteration -----------------------------------------
+
+
+def _check_unordered_iteration(info: FunctionInfo) -> list[Finding]:
+    findings: list[Finding] = []
+    for node in _own_nodes(info.node):
+        iters: list[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            iters.extend(gen.iter for gen in node.generators)
+        for iter_node in iters:
+            reason = _unordered_reason(iter_node)
+            if reason is not None:
+                findings.append(
+                    _finding(
+                        info,
+                        iter_node,
+                        "A601",
+                        f"iterates over {reason} in a parallel dispatch "
+                        f"path; iteration order is not deterministic — "
+                        f"iterate a sorted() or submission-order sequence "
+                        f"instead",
+                    )
+                )
+    return findings
+
+
+def _unordered_reason(node: ast.expr) -> str | None:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set expression"
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return None
+        tail = dotted.rsplit(".", 1)[-1]
+        if tail in {"set", "frozenset"}:
+            return f"{tail}(...)"
+        if tail in _UNORDERED_CALLS:
+            return f"{dotted}(...)"
+    return None
+
+
+# -- A602: order-sensitive reductions of worker results ----------------
+
+
+def _check_reductions(info: FunctionInfo) -> list[Finding]:
+    derived = _worker_derived_names(info)
+    findings: list[Finding] = []
+    for node in _own_nodes(info.node):
+        if isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in {"sum", "fsum"}
+                and node.args
+                and _mentions_worker_result(node.args[0], derived)
+            ):
+                findings.append(
+                    _finding(
+                        info,
+                        node,
+                        "A602",
+                        f"reduces worker results with "
+                        f"{node.func.id}(...); float addition is not "
+                        f"associative, so completion-order folds diverge "
+                        f"between runs — reduce in submission order or "
+                        f"through merge_level_arrays/absorb_arrays",
+                    )
+                )
+        elif isinstance(node, ast.AugAssign) and isinstance(
+            node.op, (ast.Add, ast.Mult)
+        ):
+            if _is_exactly_wrapped(node.value):
+                continue
+            if _mentions_worker_result(node.value, derived):
+                findings.append(
+                    _finding(
+                        info,
+                        node,
+                        "A602",
+                        f"accumulates worker results with += ; float "
+                        f"addition is not associative, so the fold order "
+                        f"must be pinned — reduce in submission order or "
+                        f"through merge_level_arrays/absorb_arrays",
+                    )
+                )
+    return findings
+
+
+def _worker_derived_names(info: FunctionInfo) -> set[str]:
+    """Names bound (directly or via iteration) to worker results."""
+    derived: set[str] = set()
+    # Two passes so a name derived late still taints earlier loop heads
+    # on the second sweep (assignment order in the AST approximates
+    # program order; loops make it a fixpoint problem we cap at 2).
+    for _ in range(2):
+        for node in _own_nodes(info.node):
+            if isinstance(node, ast.Assign):
+                if _is_worker_result(node.value, derived):
+                    for target in node.targets:
+                        _bind_targets(target, derived)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_worker_result(node.iter, derived):
+                    _bind_targets(node.target, derived)
+    return derived
+
+
+def _bind_targets(target: ast.expr, derived: set[str]) -> None:
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            derived.add(node.id)
+
+
+def _is_worker_result(node: ast.expr, derived: set[str]) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call) and isinstance(
+            child.func, ast.Attribute
+        ):
+            if child.func.attr in {"result", "submit", "map"}:
+                return True
+        if isinstance(child, ast.Call):
+            callee = dotted_name(child.func)
+            if (
+                callee is not None
+                and callee.rsplit(".", 1)[-1] == "run_supervised"
+            ):
+                return True
+        if isinstance(child, ast.Name) and child.id in derived:
+            return True
+    return False
+
+
+def _mentions_worker_result(node: ast.expr, derived: set[str]) -> bool:
+    return _is_worker_result(node, derived)
+
+
+def _is_exactly_wrapped(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _EXACT_WRAPPERS
+    )
+
+
+# -- A603: mutable state reachable by workers --------------------------
+
+
+def _check_worker_state(
+    project: Project, info: FunctionInfo, closure: set[str]
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for default in [
+        *info.node.args.defaults,
+        *info.node.args.kw_defaults,
+    ]:
+        if default is not None and _is_mutable_literal(default):
+            findings.append(
+                _finding(
+                    info,
+                    default,
+                    "A603",
+                    f"worker function carries a mutable default argument; "
+                    f"the object is shared across calls within one worker "
+                    f"process but fresh per process, so n_jobs changes "
+                    f"results",
+                )
+            )
+
+    module = info.module
+    mutable_globals = _module_mutables(module)
+    if not mutable_globals:
+        return findings
+    local = _local_names(info)
+    read: set[str] = set()
+    for node in _own_nodes(info.node):
+        if (
+            isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load)
+            and node.id in mutable_globals
+            and node.id not in local
+        ):
+            read.add(node.id)
+    for name in sorted(read):
+        outside = sorted(
+            qual
+            for qual in _mutators_of(project, module, name)
+            if qual not in closure
+        )
+        if outside:
+            findings.append(
+                _finding(
+                    info,
+                    info.node,
+                    "A603",
+                    f"reads module-level mutable {name!r}, which "
+                    f"{', '.join(outside)} mutates outside the worker "
+                    f"closure; a forked worker sees a timing-dependent "
+                    f"snapshot of it",
+                )
+            )
+    return findings
+
+
+def _module_mutables(module: ModuleInfo) -> set[str]:
+    names: set[str] = set()
+    for node in module.tree.body:
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+        if (
+            isinstance(target, ast.Name)
+            and value is not None
+            and _is_mutable_literal(value)
+        ):
+            names.add(target.id)
+    return names
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(
+        node,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return False
+        return dotted.rsplit(".", 1)[-1] in {
+            "list",
+            "dict",
+            "set",
+            "bytearray",
+            "defaultdict",
+            "OrderedDict",
+            "Counter",
+            "deque",
+        }
+    return False
+
+
+def _mutators_of(
+    project: Project, module: ModuleInfo, name: str
+) -> set[str]:
+    """Functions in the module that store into or mutate global ``name``."""
+    mutators: set[str] = set()
+    for info in module.functions.values():
+        local = _local_names(info)
+        declared_global = any(
+            isinstance(node, ast.Global) and name in node.names
+            for node in _own_nodes(info.node)
+        )
+        for node in _own_nodes(info.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if _mutates_name(target, name, local, declared_global):
+                        mutators.add(info.qualname)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATOR_METHODS
+                and _root_of(node.func.value) == name
+                and name not in local
+            ):
+                mutators.add(info.qualname)
+    return mutators
+
+
+def _mutates_name(
+    target: ast.expr, name: str, local: set[str], declared_global: bool
+) -> bool:
+    if isinstance(target, ast.Name):
+        return declared_global and target.id == name
+    root = _root_of(target)
+    return root == name and name not in local
+
+
+def _root_of(node: ast.expr) -> str | None:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _finding(
+    info: FunctionInfo, node: ast.AST, code: str, message: str
+) -> Finding:
+    return Finding(
+        path=str(info.module.path),
+        line=getattr(node, "lineno", info.node.lineno),
+        col=getattr(node, "col_offset", 0),
+        code=code,
+        symbol=info.qualname,
+        message=message,
+    )

@@ -1,0 +1,334 @@
+"""Pass A5: prove the compiled backends share one algorithmic source.
+
+The bit-identity story of the kernels rests on two structural claims:
+the numba backend compiles *the* loop bodies from
+:mod:`repro.core.kernels.loops` (not private copies that could drift),
+and the C transliteration in the cext backend mirrors those bodies
+statement for statement.  Neither claim is enforced by any test that
+merely compares outputs — outputs agree until the day an edit lands on
+one side only.  This pass checks the structure itself:
+
+``A501``
+    Numba dispatch.  Every public kernel in the loops module must be
+    *referenced* (``loops.K``) by the numba backend, and no function in
+    the numba backend named after a kernel may itself contain loops —
+    a loop-bearing namesake is a private reimplementation, whether it
+    is a byte-identical duplicate (single-source-of-truth violation)
+    or a diverging one (a silent fork).  The wrappers the backend
+    legitimately defines are loop-free adapters, so the rule separates
+    them cleanly.
+``A502``
+    Loop-skeleton agreement.  For every kernel defined on both sides,
+    the for/while nesting tree of the C function (private static
+    helpers inlined at their call sites, shared-name callees kept
+    opaque) must equal the loop tree of the Python body.  The skeleton
+    is deliberately coarser than a statement diff — C hoists row
+    compares into helpers and conditions — but any change to *which
+    loops run inside which loops* is an algorithmic divergence and is
+    exactly what it catches.
+``A503``
+    Constant agreement.  Every numeric ``#define`` in the C source
+    must equal the Python constant of the same name (modulo the
+    leading-underscore privacy convention: C ``SF_TOLERANCE`` pairs
+    with Python ``_SF_TOLERANCE``).  Guard bands that differ between
+    backends would void the scipy-adjudication contract silently.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .cparse import (
+    CParseError,
+    loop_skeleton,
+    parse_defines,
+    parse_functions,
+)
+from .findings import Finding
+from .project import FunctionInfo, ModuleInfo, Project, dotted_name
+
+
+def analyze_equivalence(
+    project: Project,
+    loops_module: str = "repro.core.kernels.loops",
+    numba_module: str = "repro.core.kernels.numba_backend",
+    cext_module: str = "repro.core.kernels.cext_backend",
+    source_global: str = "_C_SOURCE",
+) -> list[Finding]:
+    """Run pass A5 over the kernel backend modules, where present."""
+    loops_mod = project.modules.get(loops_module)
+    if loops_mod is None:
+        return []
+    kernels = _public_kernels(loops_mod)
+    findings: list[Finding] = []
+
+    numba_mod = project.modules.get(numba_module)
+    if numba_mod is not None:
+        findings.extend(
+            _check_numba_dispatch(project, numba_mod, loops_mod, kernels)
+        )
+
+    cext_mod = project.modules.get(cext_module)
+    if cext_mod is not None:
+        source, source_line = _find_c_source(cext_mod, source_global)
+        if source is not None:
+            findings.extend(
+                _check_c_equivalence(
+                    cext_mod, source, source_line, loops_mod, kernels
+                )
+            )
+    return sorted(set(findings))
+
+
+def _public_kernels(loops_mod: ModuleInfo) -> dict[str, FunctionInfo]:
+    """Top-level functions of the loops module, private ones included.
+
+    ``binom_sf`` is public; a private helper would still need a C/numba
+    counterpart compared under its own name, so everything top-level
+    participates.
+    """
+    return {
+        info.name: info
+        for info in loops_mod.functions.values()
+        if info.class_name is None
+        and info.qualname == f"{loops_mod.name}.{info.name}"
+    }
+
+
+# -- A501: numba dispatches to the shared bodies -----------------------
+
+
+def _check_numba_dispatch(
+    project: Project,
+    numba_mod: ModuleInfo,
+    loops_mod: ModuleInfo,
+    kernels: dict[str, FunctionInfo],
+) -> list[Finding]:
+    findings: list[Finding] = []
+    referenced: set[str] = set()
+    for node in ast.walk(numba_mod.tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        dotted = dotted_name(node)
+        if dotted is None:
+            continue
+        resolved = project.resolve(numba_mod, dotted)
+        if resolved is None:
+            continue
+        prefix, _, name = resolved.rpartition(".")
+        if prefix == loops_mod.name and name in kernels:
+            referenced.add(name)
+
+    for name in sorted(set(kernels) - referenced):
+        findings.append(
+            _finding(
+                numba_mod,
+                1,
+                "A501",
+                f"{numba_mod.name}.{name}",
+                f"numba backend never references the shared loops body "
+                f"{loops_mod.name}.{name}; the kernel cannot be proven to "
+                f"dispatch to the single source of truth",
+            )
+        )
+
+    for info in numba_mod.functions.values():
+        if info.name not in kernels:
+            continue
+        loop_count = sum(
+            isinstance(node, (ast.For, ast.While))
+            for node in ast.walk(info.node)
+        )
+        if loop_count == 0:
+            continue  # a loop-free adapter over the compiled dispatcher
+        shared = kernels[info.name]
+        identical = ast.dump(info.node) == ast.dump(shared.node)
+        variant = (
+            "a byte-identical duplicate of"
+            if identical
+            else "a diverging reimplementation of"
+        )
+        findings.append(
+            _finding(
+                numba_mod,
+                info.node.lineno,
+                "A501",
+                info.qualname,
+                f"defines a loop-bearing private copy of kernel "
+                f"{info.name!r} ({variant} {shared.qualname}) instead of "
+                f"jitting the shared loops body",
+            )
+        )
+    return findings
+
+
+# -- A502: C loop skeletons match the Python bodies --------------------
+
+
+def _check_c_equivalence(
+    cext_mod: ModuleInfo,
+    source: str,
+    source_line: int,
+    loops_mod: ModuleInfo,
+    kernels: dict[str, FunctionInfo],
+) -> list[Finding]:
+    try:
+        c_functions = parse_functions(source)
+    except CParseError as error:
+        return [
+            _finding(
+                cext_mod,
+                source_line,
+                "A502",
+                cext_mod.name,
+                f"C source is outside the analyzable kernel dialect: {error}",
+            )
+        ]
+    findings: list[Finding] = []
+    shared_names = frozenset(c_functions) & frozenset(kernels)
+    for name in sorted(shared_names):
+        c_fn = c_functions[name]
+        c_skeleton = loop_skeleton(c_fn, c_functions, opaque=shared_names)
+        py_skeleton = _python_skeleton(kernels[name].node)
+        if c_skeleton != py_skeleton:
+            findings.append(
+                _finding(
+                    cext_mod,
+                    source_line + c_fn.line - 1,
+                    "A502",
+                    f"{cext_mod.name}.{name}",
+                    f"C loop skeleton [{c_skeleton}] diverges from the "
+                    f"Python body's [{py_skeleton}] in "
+                    f"{kernels[name].qualname}",
+                )
+            )
+    findings.extend(
+        _check_constants(cext_mod, source, source_line, loops_mod)
+    )
+    return findings
+
+
+def _python_skeleton(node: ast.AST) -> str:
+    """Render a function's for/while nesting tree (see cparse)."""
+    return _render(_py_nodes(getattr(node, "body", [])))
+
+
+def _render(nodes: list[tuple[str, list]]) -> str:
+    parts = []
+    for kind, children in nodes:
+        parts.append(f"{kind}({_render(children)})" if children else kind)
+    return ",".join(parts)
+
+
+def _py_nodes(stmts: list[ast.stmt]) -> list[tuple[str, list]]:
+    nodes: list[tuple[str, list]] = []
+    for stmt in stmts:
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            nodes.append(("F", _py_nodes(stmt.body + stmt.orelse)))
+        elif isinstance(stmt, ast.While):
+            nodes.append(("W", _py_nodes(stmt.body + stmt.orelse)))
+        elif isinstance(stmt, (ast.If,)):
+            nodes.extend(_py_nodes(stmt.body))
+            nodes.extend(_py_nodes(stmt.orelse))
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            nodes.extend(_py_nodes(stmt.body))
+        elif isinstance(stmt, ast.Try):
+            for region in (stmt.body, stmt.orelse, stmt.finalbody):
+                nodes.extend(_py_nodes(region))
+            for handler in stmt.handlers:
+                nodes.extend(_py_nodes(handler.body))
+        # Nested defs, expressions and assignments contribute no loops:
+        # the kernel dialect has no comprehensions or generator bodies.
+    return nodes
+
+
+# -- A503: #define constants equal the Python definitions --------------
+
+
+def _check_constants(
+    cext_mod: ModuleInfo,
+    source: str,
+    source_line: int,
+    loops_mod: ModuleInfo,
+) -> list[Finding]:
+    py_constants = _module_constants(loops_mod)
+    findings: list[Finding] = []
+    for name, (text, line) in sorted(parse_defines(source).items()):
+        try:
+            c_value = float(text)
+        except ValueError:
+            continue  # non-numeric define: outside this check's scope
+        where = source_line + line - 1
+        counterpart = name if name in py_constants else f"_{name}"
+        if counterpart not in py_constants:
+            findings.append(
+                _finding(
+                    cext_mod,
+                    where,
+                    "A503",
+                    f"{cext_mod.name}.{name}",
+                    f"C #define {name} has no counterpart constant in "
+                    f"{loops_mod.name} (looked for {name} and _{name})",
+                )
+            )
+            continue
+        py_value = py_constants[counterpart]
+        if float(py_value) != c_value:
+            findings.append(
+                _finding(
+                    cext_mod,
+                    where,
+                    "A503",
+                    f"{cext_mod.name}.{name}",
+                    f"C #define {name} = {text} differs from "
+                    f"{loops_mod.name}.{counterpart} = {py_value!r}",
+                )
+            )
+    return findings
+
+
+def _module_constants(module: ModuleInfo) -> dict[str, float]:
+    constants: dict[str, float] = {}
+    for node in module.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, (int, float))
+            and not isinstance(node.value.value, bool)
+        ):
+            constants[node.targets[0].id] = float(node.value.value)
+    return constants
+
+
+# -- helpers -----------------------------------------------------------
+
+
+def _find_c_source(
+    module: ModuleInfo, source_global: str
+) -> tuple[str | None, int]:
+    for node in module.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == source_global
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            return node.value.value, node.value.lineno
+    return None, 1
+
+
+def _finding(
+    module: ModuleInfo, line: int, code: str, symbol: str, message: str
+) -> Finding:
+    return Finding(
+        path=str(module.path),
+        line=line,
+        col=0,
+        code=code,
+        symbol=symbol,
+        message=message,
+    )

@@ -1,7 +1,9 @@
 """Finding records shared by every repro-analyze pass.
 
 A finding carries a stable ``code`` (``A1xx`` shape/dtype, ``A2xx``
-parallel purity, ``A3xx`` contract cross-check), a ``file:line``
+parallel purity, ``A3xx`` contract cross-check, ``A4xx`` FFI contract,
+``A5xx`` backend equivalence, ``A6xx`` cross-process determinism), a
+``file:line``
 location for humans, and a *location-free* fingerprint for the
 baseline: accepted findings are keyed on ``(code, symbol, message)``
 so they survive unrelated edits that move line numbers around.
@@ -23,6 +25,15 @@ CODES: dict[str, str] = {
     "A203": "parallel worker reads ambient state (clock/environment)",
     "A301": "public entry point misses a contracts check for an array parameter",
     "A302": "contracts check disagrees with the parameter annotation",
+    "A401": "C prototype and ctypes binding disagree",
+    "A402": "C pointer parameter without a bounding length parameter",
+    "A403": "FFI call site passes an unproven array (dtype/contiguity)",
+    "A501": "numba backend does not dispatch to the shared loops body",
+    "A502": "C loop skeleton diverges from the Python kernel body",
+    "A503": "C #define constant differs from the Python definition",
+    "A601": "unordered iteration in a parallel dispatch path",
+    "A602": "order-sensitive reduction of worker results",
+    "A603": "mutable state reachable by worker closures",
 }
 
 

@@ -27,6 +27,7 @@ RULES: dict[str, str] = {
     "R008": "direct timing calls outside repro.obs and benchmarks",
     "R009": "no bare or silently-swallowed except outside repro.resilience",
     "R010": "no direct numba imports outside repro.core.kernels",
+    "R011": "no direct ctypes imports outside the cext backend module",
     "R000": "file could not be parsed",
 }
 
@@ -129,6 +130,7 @@ class PathContext:
     in_benchmarks: bool
     in_resilience: bool
     in_kernels: bool
+    is_cext_module: bool
 
     @staticmethod
     def classify(path: str) -> "PathContext":
@@ -151,6 +153,9 @@ class PathContext:
             in_benchmarks="benchmarks" in parts[:-1],
             in_resilience="/repro/resilience/" in normalized,
             in_kernels="/repro/core/kernels/" in normalized,
+            is_cext_module=normalized.endswith(
+                "/repro/core/kernels/cext_backend.py"
+            ),
         )
 
 
@@ -359,6 +364,20 @@ class _RuleVisitor(ast.NodeVisitor):
             and not self.context.is_test
         )
 
+    # -- R011: ctypes stays inside the cext backend module ------------
+    # The FFI boundary is a correctness liability: calls through ctypes
+    # bypass every Python-side type check, so repro_analyze's A4 pass
+    # audits exactly one module's bindings.  A ctypes import anywhere
+    # else would open an unaudited boundary.
+
+    @property
+    def _ctypes_rule_binds(self) -> bool:
+        return (
+            self.context.in_package
+            and not self.context.is_cext_module
+            and not self.context.is_test
+        )
+
     def visit_Import(self, node: ast.Import) -> None:
         if self._numba_rule_binds:
             for alias in node.names:
@@ -369,6 +388,17 @@ class _RuleVisitor(ast.NodeVisitor):
                         f"direct import of {alias.name} outside "
                         "repro.core.kernels (select compiled kernels via "
                         "REPRO_BACKEND and repro.core.kernels instead)",
+                    )
+        if self._ctypes_rule_binds:
+            for alias in node.names:
+                if alias.name == "ctypes" or alias.name.startswith("ctypes."):
+                    self._add(
+                        node,
+                        "R011",
+                        f"direct import of {alias.name} outside "
+                        "repro.core.kernels.cext_backend (the FFI boundary "
+                        "is audited there by repro_analyze A4; route foreign "
+                        "calls through the kernels backend layer)",
                     )
         self.generic_visit(node)
 
@@ -381,6 +411,16 @@ class _RuleVisitor(ast.NodeVisitor):
                     f"direct import from {node.module} outside "
                     "repro.core.kernels (select compiled kernels via "
                     "REPRO_BACKEND and repro.core.kernels instead)",
+                )
+        if self._ctypes_rule_binds and node.module is not None:
+            if node.module == "ctypes" or node.module.startswith("ctypes."):
+                self._add(
+                    node,
+                    "R011",
+                    f"direct import from {node.module} outside "
+                    "repro.core.kernels.cext_backend (the FFI boundary "
+                    "is audited there by repro_analyze A4; route foreign "
+                    "calls through the kernels backend layer)",
                 )
         if self._env_rule_binds and node.module == "os":
             imported = {alias.name for alias in node.names}
