@@ -335,11 +335,136 @@ def bench_fit(
     return row
 
 
+def bench_serve(
+    eta: int,
+    d: int,
+    h: int,
+    repeats: int,
+    seed: int,
+    backends: dict[str, dict],
+    n_clusters: int = 8,
+    n_requests: int = 32,
+) -> dict:
+    """The serving arm: model save/load cost plus batched label latency.
+
+    One model is fitted and persisted, then for each backend the async
+    front end labels the full workload split into ``n_requests``
+    concurrent requests; the served labels must equal the fit's.
+    """
+    import asyncio
+    import tempfile
+
+    from repro.serve import (
+        BatchLabeller,
+        ModelCache,
+        latency_quantiles,
+        load_model,
+        save_model,
+    )
+
+    points = clustered_points(
+        eta, d, n_clusters=n_clusters, noise_fraction=0.15, seed=seed
+    )
+    alpha = 1e-10
+    with use_backend("numpy"):
+        estimator = MrCC(alpha=alpha, n_resolutions=h, normalize=False)
+        reference_result = estimator.fit(points)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        model_path = Path(tmp) / "bench.model"
+        save_s, _ = best_of(repeats, lambda: save_model(estimator, model_path))
+        load_mmap_s, _ = best_of(repeats, lambda: load_model(model_path))
+        load_copy_s, _ = best_of(
+            repeats, lambda: load_model(model_path, mmap=False)
+        )
+        row = {
+            "params": {
+                "eta": eta, "d": d, "H": h, "alpha": alpha,
+                "n_requests": n_requests,
+            },
+            "model_bytes": model_path.stat().st_size,
+            "save_seconds": save_s,
+            "load_mmap_seconds": load_mmap_s,
+            "load_copy_seconds": load_copy_s,
+            "backends": {},
+        }
+        chunks = [
+            chunk
+            for chunk in np.array_split(points, n_requests)
+            if chunk.shape[0]
+        ]
+
+        def serve_once() -> tuple[np.ndarray, list[float]]:
+            cache = ModelCache(root=tmp, capacity=2)
+
+            async def run():
+                async with BatchLabeller(
+                    cache, batch_points=max(eta // 4, 1), delay=0.001
+                ) as labeller:
+                    parts = await asyncio.gather(
+                        *[
+                            labeller.label("bench.model", chunk)
+                            for chunk in chunks
+                        ]
+                    )
+                    return np.concatenate(parts), list(labeller.latencies)
+
+            return asyncio.run(run())
+
+        for name in backends:
+            with use_backend(name):
+                wall_s, (labels, latencies) = best_of(repeats, serve_once)
+            if not np.array_equal(labels, reference_result.labels):
+                raise AssertionError(
+                    f"served labels differ from MrCC.fit labels under the "
+                    f"{name} backend"
+                )
+            row["backends"][name] = {
+                "wall_seconds": wall_s,
+                "points_per_second": eta / wall_s,
+                "latency_s": latency_quantiles(latencies),
+                "labels_match_fit": True,
+            }
+    return row
+
+
+def merge_serve_workloads(output: Path, serve_rows: dict[str, dict]) -> dict:
+    """Update only the ``serve/`` workload keys of an existing trajectory.
+
+    The committed ``BENCH_core.json`` holds full-profile numbers for
+    every arm; a serve-only rerun must not clobber them with nothing or
+    with quick-profile values.  Missing file falls back to a minimal
+    payload that carries just the serve rows.
+    """
+    if output.exists():
+        payload = json.loads(output.read_text())
+    else:
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "profile": "full",
+            "generated_by": "scripts/perf_baseline.py",
+            "backends": {},
+            "workloads": {},
+        }
+    stale = [
+        key for key in payload["workloads"] if key.startswith("serve/")
+    ]
+    for key in stale:
+        del payload["workloads"][key]
+    payload["workloads"].update(serve_rows)
+    return payload
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick", action="store_true",
         help="small workloads for CI smoke runs (no 2x gate)",
+    )
+    parser.add_argument(
+        "--only", choices=("serve",), default=None,
+        help="run a single arm and merge its workload keys into the "
+        "existing trajectory instead of rewriting the whole file",
     )
     parser.add_argument(
         "--output", type=Path, default=REPO_ROOT / "BENCH_core.json",
@@ -353,6 +478,7 @@ def main(argv: list[str] | None = None) -> int:
         tree_args = dict(eta=20_000, d=10, h=4, seed=7)
         search_args = dict(eta=8_000, d=8, h=4, seed=11, n_clusters=10)
         fit_workloads = [dict(eta=8_000, d=8, h=4, seed=13)]
+        serve_args = dict(eta=8_000, d=8, h=4, seed=13)
         speedup_floor = 1.0
         beta_floor = None
     else:
@@ -369,6 +495,7 @@ def main(argv: list[str] | None = None) -> int:
                 repeats=1, reference_repeats=1,
             ),
         ]
+        serve_args = dict(eta=50_000, d=10, h=4, seed=13)
         speedup_floor = TREE_SPEEDUP_FLOOR_FULL
         beta_floor = BETA_COMPILED_SPEEDUP_FLOOR
 
@@ -380,6 +507,33 @@ def main(argv: list[str] | None = None) -> int:
             f"  warm-up {info['warmup_seconds']:.3f}s"
         )
     compiled = [n for n, info in backends.items() if info["compiled"]]
+
+    def run_serve_arm() -> tuple[str, dict]:
+        arm_name = "serve/h{h}_d{d}_eta{eta}".format(**serve_args)
+        print(f"[{arm_name}] ...", flush=True)
+        serve_row = bench_serve(repeats=repeats, backends=backends, **serve_args)
+        print(
+            f"  save {serve_row['save_seconds']:.3f}s"
+            f"  load(mmap) {serve_row['load_mmap_seconds'] * 1e3:.1f}ms"
+            f"  load(copy) {serve_row['load_copy_seconds'] * 1e3:.1f}ms"
+            f"  ({serve_row['model_bytes']} bytes)"
+        )
+        for arm_backend, arm in serve_row["backends"].items():
+            quantiles = arm["latency_s"]
+            print(
+                f"  {arm_backend:<6} {arm['points_per_second']:,.0f} pts/s"
+                f"  p50 {quantiles['p50'] * 1e3:.2f}ms"
+                f"  p99 {quantiles['p99'] * 1e3:.2f}ms"
+            )
+        return arm_name, serve_row
+
+    if args.only == "serve":
+        name, row = run_serve_arm()
+        payload = merge_serve_workloads(args.output, {name: row})
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"merged {name} into {args.output}")
+        return 0
 
     workloads = {}
     name = "tree_build/h{h}_d{d}_eta{eta}".format(**tree_args)
@@ -422,6 +576,9 @@ def main(argv: list[str] | None = None) -> int:
                 f"  speedup {arm['speedup']:.2f}x"
                 f"  labels match: {arm['labels_match_reference']}"
             )
+
+    name, row = run_serve_arm()
+    workloads[name] = row
 
     obs_eta = 10_000 if args.quick else 100_000
     name = f"obs_overhead/eta{obs_eta}"

@@ -13,6 +13,12 @@ Subcommands
     an interrupted sweep back up where it stopped.
 ``demo``
     Tiny end-to-end demonstration on a generated dataset.
+``save-model <model> --input <points>``
+    Fit MrCC on a dataset (``.npy`` or CSV) and persist the fitted
+    model as a serving artifact (:mod:`repro.serve`).
+``serve <model> --input <points>``
+    Label query points against a saved model through the async
+    micro-batching front end, reporting p50/p99 request latency.
 
 Every experiment accepts ``--scale`` (fraction of the paper's point
 counts; default keeps runs laptop-sized) and honours the
@@ -163,6 +169,89 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_points(path: str) -> "np.ndarray":
+    import numpy as np
+
+    if path.endswith(".npy"):
+        points = np.load(path)
+    else:
+        points = np.loadtxt(path, delimiter=",", ndmin=2)
+    return np.asarray(points, dtype=np.float64)
+
+
+def _cmd_save_model(args: argparse.Namespace) -> int:
+    from repro.core.mrcc import MrCC
+
+    points = _load_points(args.input)
+    estimator = MrCC(
+        alpha=args.alpha,
+        n_resolutions=args.resolutions,
+        normalize=not args.no_normalize,
+    )
+    result = estimator.fit(points)
+    estimator.save(args.model)
+    print(
+        f"fitted {points.shape[0]} points x {points.shape[1]} axes: "
+        f"{result.n_clusters} cluster(s), "
+        f"{result.extras['n_beta_clusters']} beta-cluster(s)"
+    )
+    print(f"model saved to {args.model}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.serve import BatchLabeller, ModelCache
+
+    points = _load_points(args.input)
+    model_path = Path(args.model)
+    cache = ModelCache(
+        root=model_path.parent if str(model_path.parent) else ".",
+        mmap=not args.no_mmap,
+    )
+    chunks = [
+        chunk
+        for chunk in np.array_split(points, max(1, args.requests))
+        if chunk.shape[0]
+    ]
+
+    async def run() -> tuple[np.ndarray, dict]:
+        async with BatchLabeller(
+            cache, batch_points=args.batch, delay=args.delay
+        ) as labeller:
+            parts = await asyncio.gather(
+                *[labeller.label(model_path.name, chunk) for chunk in chunks]
+            )
+            stats = labeller.stats()
+        labels = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        )
+        return labels, stats
+
+    labels, stats = asyncio.run(run())
+    n_noise = int(np.sum(labels == -1))
+    n_clusters = int(labels.max()) + 1 if labels.size and labels.max() >= 0 else 0
+    print(
+        f"labelled {labels.shape[0]} points across {len(chunks)} "
+        f"request(s): {n_clusters} cluster(s), {n_noise} noise point(s)"
+    )
+    latency = stats["latency_s"]
+    if latency:
+        print(
+            f"batches={stats['batches']}  "
+            f"p50={latency['p50'] * 1e3:.2f}ms  "
+            f"p99={latency['p99'] * 1e3:.2f}ms"
+        )
+    if args.output:
+        np.save(args.output, labels)
+        print(f"labels saved to {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``mrcc-repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -227,6 +316,60 @@ def build_parser() -> argparse.ArgumentParser:
         "demo", help="small end-to-end demo", parents=[trace_opt]
     )
     demo.set_defaults(func=_cmd_demo)
+
+    save_model = sub.add_parser(
+        "save-model",
+        help="fit MrCC on a dataset and persist the serving model",
+        parents=[trace_opt],
+    )
+    save_model.add_argument("model", metavar="MODEL", help="output model file")
+    save_model.add_argument(
+        "--input", required=True, metavar="POINTS",
+        help="dataset to fit (.npy array or CSV of rows)",
+    )
+    save_model.add_argument("--alpha", type=float, default=1e-10)
+    save_model.add_argument(
+        "--resolutions", type=int, default=4, metavar="H",
+        help="number of multi-resolution levels (default 4)",
+    )
+    save_model.add_argument(
+        "--no-normalize", action="store_true",
+        help="skip min-max normalisation (data already in [0, 1))",
+    )
+    save_model.set_defaults(func=_cmd_save_model)
+
+    serve = sub.add_parser(
+        "serve",
+        help="label query points against a saved model (async batching)",
+        parents=[trace_opt],
+    )
+    serve.add_argument("model", metavar="MODEL", help="saved model file")
+    serve.add_argument(
+        "--input", required=True, metavar="POINTS",
+        help="query points to label (.npy array or CSV of rows)",
+    )
+    serve.add_argument(
+        "--output", default=None, metavar="NPY",
+        help="also write the label vector to this .npy file",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=8,
+        help="split the input into this many concurrent requests "
+        "(default 8; labels are batching-invariant)",
+    )
+    serve.add_argument(
+        "--batch", type=int, default=None, metavar="POINTS",
+        help="micro-batch point budget (default REPRO_SERVE_BATCH)",
+    )
+    serve.add_argument(
+        "--delay", type=float, default=None, metavar="SECONDS",
+        help="micro-batch delay window (default REPRO_SERVE_DELAY)",
+    )
+    serve.add_argument(
+        "--no-mmap", action="store_true",
+        help="load the model into private memory instead of mmap",
+    )
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

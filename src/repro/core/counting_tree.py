@@ -123,6 +123,42 @@ class Level:
             self._sorted_keys = keys[self._sort_order]
         assert self._sort_order is not None
 
+    @classmethod
+    def from_key_sorted(
+        cls,
+        h: int,
+        coords: IntArray,
+        n: IntArray,
+        half_counts: IntArray,
+        keys: AnyArray | None = None,
+        used: BoolArray | None = None,
+    ) -> "Level":
+        """Wrap arrays already in canonical key order as a ``Level``.
+
+        The lookup index is the identity permutation, so no argsort (and
+        no copy of ``coords``) happens; when ``keys`` is supplied — e.g.
+        the packed keys persisted inside a model file, possibly a
+        read-only memmap — not even the key repacking runs, which is
+        what keeps a memmap-backed serving tree near-zero-copy.  Rows
+        out of key order would silently corrupt every lookup, so
+        callers must hold the canonical-order invariant (every tree
+        builder and the model store do).
+        """
+        m = int(coords.shape[0])
+        return cls(
+            h=h,
+            coords=coords,
+            n=n,
+            half_counts=half_counts,
+            used=(
+                used
+                if used is not None
+                else np.zeros(m, dtype=bool)
+            ),
+            _sorted_keys=keys if keys is not None else void_keys(coords),
+            _sort_order=np.arange(m, dtype=np.int64),
+        )
+
     @property
     def n_cells(self) -> int:
         """Number of non-empty cells stored at this level."""
@@ -403,14 +439,11 @@ def level_from_arrays(h: int, arrays: LevelArrays) -> Level:
     identity permutation and no argsort happens.
     """
     cells, counts, halves = arrays
-    return Level(
-        h=h,
-        coords=np.ascontiguousarray(cells),
-        n=np.ascontiguousarray(counts),
-        half_counts=np.ascontiguousarray(halves),
-        used=np.zeros(cells.shape[0], dtype=bool),
-        _sorted_keys=void_keys(cells),
-        _sort_order=np.arange(cells.shape[0], dtype=np.int64),
+    return Level.from_key_sorted(
+        h,
+        np.ascontiguousarray(cells),
+        np.ascontiguousarray(counts),
+        np.ascontiguousarray(halves),
     )
 
 

@@ -27,6 +27,8 @@ Example
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro import obs
@@ -34,8 +36,11 @@ from repro.core.beta_cluster import BetaCluster, find_beta_clusters
 from repro.core.contracts import check_array, check_labels
 from repro.core.correlation_cluster import build_correlation_clusters
 from repro.core.counting_tree import MIN_RESOLUTIONS, CountingTree
-from repro.data.normalize import minmax_normalize
+from repro.data.normalize import apply_minmax, minmax_params
 from repro.types import ClusteringResult, FloatArray, IntArray, SubspaceCluster
+
+if TYPE_CHECKING:
+    from pathlib import Path
 
 DEFAULT_ALPHA = 1e-10
 DEFAULT_RESOLUTIONS = 4
@@ -70,7 +75,10 @@ class MrCC:
     ``clusters_`` — list of :class:`~repro.types.SubspaceCluster`;
     ``relevant_axes_`` — list of axis sets, one per cluster;
     ``beta_clusters_`` — the intermediate β-clusters;
-    ``tree_`` — the phase-one Counting-tree.
+    ``tree_`` — the phase-one Counting-tree;
+    ``normalizer_`` — the fitted per-axis min-max ``(lo, span)`` pair
+    when ``normalize`` is on (``None`` otherwise), so unseen query
+    points can be mapped into the model's unit cube bit-identically.
     """
 
     def __init__(
@@ -96,6 +104,7 @@ class MrCC:
         self.relevant_axes_: list[frozenset[int]] | None = None
         self.beta_clusters_: list[BetaCluster] | None = None
         self.tree_: CountingTree | None = None
+        self.normalizer_: tuple[FloatArray, FloatArray] | None = None
 
     def fit(self, points: FloatArray) -> ClusteringResult:
         """Cluster ``points`` and return the :class:`ClusteringResult`.
@@ -109,9 +118,12 @@ class MrCC:
         with obs.span("fit"):
             obs.incr("fit.runs")
             obs.incr("fit.points", int(points.shape[0]))
+            self.normalizer_ = None
             if self.normalize:
                 with obs.span("fit.normalize"):
-                    points = minmax_normalize(points)
+                    lo, span = minmax_params(points)
+                    self.normalizer_ = (lo, span)
+                    points = apply_minmax(points, lo, span)
 
             self.tree_ = CountingTree(
                 points,
@@ -134,3 +146,15 @@ class MrCC:
     def fit_predict(self, points: FloatArray) -> IntArray:
         """Cluster ``points`` and return only the label vector."""
         return self.fit(points).labels
+
+    def save(self, path: str | Path) -> None:
+        """Persist the fitted model as a serving artifact.
+
+        Convenience front door for :func:`repro.serve.save_model`; the
+        estimator must be fitted.  The written file round-trips through
+        :func:`repro.serve.load_model` into labels bit-identical to
+        ``self.labels_``.
+        """
+        from repro.serve import save_model
+
+        save_model(self, path)

@@ -251,18 +251,24 @@ def fit_stream(
 
 
 def label_stream(
-    chunks: Iterable[np.ndarray], betas: list
+    chunks: Iterable[np.ndarray],
+    betas: list,
+    groups: list[list[int]] | None = None,
 ) -> ClusteringResult:
     """Phase 3 over a second scan: label every streamed point.
 
     Uses the same box semantics as
     :func:`repro.core.correlation_cluster.build_correlation_clusters`,
-    processing one chunk at a time.
+    processing one chunk at a time.  ``groups`` lets a caller that has
+    already merged the β-clusters — a persisted serving model labels
+    many batches against one fixed grouping — skip the union-find
+    rerun; ``None`` recomputes it, which yields the identical grouping
+    because the merge is deterministic.
     """
     from repro.core.correlation_cluster import label_points, merge_beta_clusters
-    from repro.types import SubspaceCluster
 
-    groups = merge_beta_clusters(betas)
+    if groups is None:
+        groups = merge_beta_clusters(betas)
     label_parts = []
     for chunk_index, chunk in enumerate(chunks):
         chunk = np.asarray(chunk, dtype=np.float64)
@@ -272,6 +278,17 @@ def label_stream(
     labels = (
         np.concatenate(label_parts) if label_parts else np.empty(0, dtype=np.int64)
     )
+    return assemble_result(labels, betas, groups)
+
+
+def assemble_result(
+    labels: np.ndarray, betas: list, groups: list[list[int]]
+) -> ClusteringResult:
+    """Wrap a label vector as a :class:`ClusteringResult` with cluster
+    records derived from the merged β-cluster groups (shared by the
+    streaming and the serving label paths)."""
+    from repro.types import SubspaceCluster
+
     clusters = []
     for cluster_id, members in enumerate(groups):
         axes: set[int] = set()

@@ -14,12 +14,57 @@ _BELOW_ONE = np.nextafter(1.0, 0.0)
 """Largest float strictly below 1.0; keeps normalised data in [0, 1)."""
 
 
+def minmax_params(points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-axis ``(lo, span)`` of the min-max map fitted on ``points``.
+
+    The pair fully describes the affine transform
+    :func:`minmax_normalize` applies, so it can be persisted (the
+    serving layer stores it inside model files) and replayed on unseen
+    query points with :func:`apply_minmax` — bit-identically to
+    normalising the training data in place.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be a 2-d array of shape (n_points, d)")
+    if points.shape[0] == 0:
+        d = points.shape[1]
+        return np.zeros(d, dtype=np.float64), np.ones(d, dtype=np.float64)
+    lo = points.min(axis=0)
+    span = points.max(axis=0) - lo
+    return lo, span
+
+
+def apply_minmax(
+    points: np.ndarray, lo: np.ndarray, span: np.ndarray
+) -> np.ndarray:
+    """Apply a fitted min-max map to ``points`` (new array, in ``[0, 1)``).
+
+    Constant axes (zero fitted span) map to 0.0; values outside the
+    fitted range — expected for query points a model never saw — clip
+    into the half-open unit interval.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be a 2-d array of shape (n_points, d)")
+    if points.shape[0] == 0:
+        return points.copy()
+    safe_span = np.where(span > 0.0, span, 1.0)
+    scaled = (points - lo) / safe_span
+    # Exact zero span marks a constant column (hi - lo of identical
+    # float64 values is exactly 0.0); a tolerance would squash
+    # near-constant but informative axes.
+    scaled[:, span == 0.0] = 0.0  # repro-lint: disable=R002
+    return np.clip(scaled, 0.0, _BELOW_ONE)
+
+
 def minmax_normalize(points: np.ndarray) -> np.ndarray:
     """Min-max normalise each axis of ``points`` into ``[0, 1)``.
 
     Constant axes (zero range) map to 0.0.  The maximum of each axis is
     mapped to the largest representable float below 1.0 so the result
-    honours the half-open interval of Definition 1.
+    honours the half-open interval of Definition 1.  Equivalent to
+    :func:`apply_minmax` with :func:`minmax_params` fitted on the same
+    array.
 
     Parameters
     ----------
@@ -35,16 +80,8 @@ def minmax_normalize(points: np.ndarray) -> np.ndarray:
         raise ValueError("points must be a 2-d array of shape (n_points, d)")
     if points.shape[0] == 0:
         return points.copy()
-    lo = points.min(axis=0)
-    hi = points.max(axis=0)
-    span = hi - lo
-    safe_span = np.where(span > 0.0, span, 1.0)
-    scaled = (points - lo) / safe_span
-    # Exact zero span marks a constant column (hi - lo of identical
-    # float64 values is exactly 0.0); a tolerance would squash
-    # near-constant but informative axes.
-    scaled[:, span == 0.0] = 0.0  # repro-lint: disable=R002
-    return np.clip(scaled, 0.0, _BELOW_ONE)
+    lo, span = minmax_params(points)
+    return apply_minmax(points, lo, span)
 
 
 def clip_unit_cube(points: np.ndarray) -> np.ndarray:

@@ -8,11 +8,14 @@ for the hot-path kernels — see :mod:`repro.core.kernels`),
 ``REPRO_PROFILE`` (``quick``/``full`` tuning grids), ``REPRO_CONTRACTS``
 (toggle for the O(n) data-scan half of the runtime contracts),
 ``REPRO_TRACE`` (the observability layer: off, on, or on plus a JSON
-export path) and the resilience knobs ``REPRO_RETRIES`` /
+export path), the resilience knobs ``REPRO_RETRIES`` /
 ``REPRO_TASK_TIMEOUT`` / ``REPRO_BACKOFF`` / ``REPRO_FAULTS`` (per-cell
 retry budget, per-attempt deadline in seconds, exponential-backoff base
 and the deterministic fault-injection spec consumed by
-``repro.resilience``).  Every read goes through this module so that bad
+``repro.resilience``) and the serving knobs ``REPRO_MODEL_DIR`` /
+``REPRO_SERVE_BATCH`` / ``REPRO_SERVE_DELAY`` / ``REPRO_SERVE_CACHE``
+(model lookup directory, micro-batch point budget, batching delay
+window and per-process model LRU capacity for ``repro.serve``).  Every read goes through this module so that bad
 values produce one friendly, named error instead of a raw ``int()``
 traceback, and so the static layer can enforce the funnel:
 ``repro_lint`` rule R007 flags ``os.environ`` access anywhere else in
@@ -32,9 +35,13 @@ __all__ = [
     "contracts_from_env",
     "faults_from_env",
     "jobs_from_env",
+    "model_dir_from_env",
     "profile_from_env",
     "propagate_trace_env",
     "retries_from_env",
+    "serve_batch_from_env",
+    "serve_cache_from_env",
+    "serve_delay_from_env",
     "task_timeout_from_env",
     "trace_from_env",
 ]
@@ -254,6 +261,97 @@ def faults_from_env(default: str = "") -> str:
     the ambient read so R007 keeps every ``os.environ`` access here.
     """
     return os.environ.get("REPRO_FAULTS", "").strip() or default
+
+
+def model_dir_from_env(default: str = ".") -> str:
+    """Directory that resolves relative model names (``REPRO_MODEL_DIR``).
+
+    The serving layer and the ``save-model``/``serve`` CLI subcommands
+    look up bare model names here, so deployments can point every
+    worker at one read-only model volume.  Unset or blank means
+    ``default`` (the current directory); the value is returned verbatim
+    — existence is checked at open time by the model store, which turns
+    a vanished directory into a typed :class:`ModelFormatError`.
+    """
+    return os.environ.get("REPRO_MODEL_DIR", "").strip() or default
+
+
+def serve_batch_from_env(default: int = 4096) -> int:
+    """Micro-batch point budget for the batch labeller (``REPRO_SERVE_BATCH``).
+
+    The asyncio front end coalesces queued label requests until their
+    combined point count reaches this budget (or the delay window
+    closes).  Unset or blank means ``default``; anything that is not a
+    positive integer raises a ``ValueError`` naming the variable.
+    """
+    raw = os.environ.get("REPRO_SERVE_BATCH", "").strip()
+    if not raw:
+        return default
+    try:
+        budget = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SERVE_BATCH must be a positive integer point budget "
+            f"(e.g. REPRO_SERVE_BATCH=4096), got {raw!r}"
+        ) from None
+    if budget < 1:
+        raise ValueError(
+            f"REPRO_SERVE_BATCH must be a positive integer point budget "
+            f"(e.g. REPRO_SERVE_BATCH=4096), got {raw!r}"
+        )
+    return budget
+
+
+def serve_delay_from_env(default: float = 0.002) -> float:
+    """Micro-batch delay window in seconds (``REPRO_SERVE_DELAY``).
+
+    How long the batch labeller waits for more requests after the first
+    one arrives before closing the batch; ``0`` serves every request
+    the moment it is dequeued.  Unset or blank means ``default``; the
+    value must be a non-negative number of seconds.
+    """
+    raw = os.environ.get("REPRO_SERVE_DELAY", "").strip()
+    if not raw:
+        return default
+    try:
+        seconds = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SERVE_DELAY must be a non-negative number of seconds "
+            f"(e.g. REPRO_SERVE_DELAY=0.005), got {raw!r}"
+        ) from None
+    if seconds < 0:
+        raise ValueError(
+            f"REPRO_SERVE_DELAY must be a non-negative number of seconds "
+            f"(e.g. REPRO_SERVE_DELAY=0.005), got {raw!r}"
+        )
+    return seconds
+
+
+def serve_cache_from_env(default: int = 4) -> int:
+    """Per-process model LRU capacity (``REPRO_SERVE_CACHE``).
+
+    How many loaded models the serving cache keeps resident before
+    evicting the least recently used one.  Unset or blank means
+    ``default``; anything that is not a positive integer raises a
+    ``ValueError`` naming the variable.
+    """
+    raw = os.environ.get("REPRO_SERVE_CACHE", "").strip()
+    if not raw:
+        return default
+    try:
+        capacity = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SERVE_CACHE must be a positive integer model count "
+            f"(e.g. REPRO_SERVE_CACHE=4), got {raw!r}"
+        ) from None
+    if capacity < 1:
+        raise ValueError(
+            f"REPRO_SERVE_CACHE must be a positive integer model count "
+            f"(e.g. REPRO_SERVE_CACHE=4), got {raw!r}"
+        )
+    return capacity
 
 
 def propagate_trace_env(target: str = "") -> None:

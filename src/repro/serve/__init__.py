@@ -1,0 +1,46 @@
+"""Clustering-as-a-service: persisted models and a serving front end.
+
+The fit-once/label-many split of MrCC makes the fitted state — the
+β-cluster boxes, their merged grouping, the normalisation map, the
+Counting-tree — a natural *model artifact*.  This package persists
+that artifact (:mod:`repro.serve.store`, :mod:`repro.serve.model`) in
+a schema-versioned binary format whose level arrays can be memory-
+mapped read-only, so N serving workers share one page-cache copy of
+the tree, and serves it (:mod:`repro.serve.service`) behind an
+asyncio micro-batching front end with a per-process model LRU.
+
+Labels served from a loaded model are bit-identical to the labels the
+in-memory ``MrCC.fit`` produced — across backends, across the
+mmap/in-memory loading modes, and regardless of how requests were
+micro-batched.  The serving test harness proves all three.
+"""
+
+from repro.serve.model import (
+    FittedModel,
+    load_model,
+    model_from_estimator,
+    save_model,
+)
+from repro.serve.service import BatchLabeller, ModelCache, latency_quantiles
+from repro.serve.store import (
+    MODEL_MAGIC,
+    MODEL_SCHEMA_VERSION,
+    ModelFormatError,
+    read_model,
+    write_model,
+)
+
+__all__ = [
+    "MODEL_MAGIC",
+    "MODEL_SCHEMA_VERSION",
+    "BatchLabeller",
+    "FittedModel",
+    "ModelCache",
+    "ModelFormatError",
+    "latency_quantiles",
+    "load_model",
+    "model_from_estimator",
+    "read_model",
+    "save_model",
+    "write_model",
+]

@@ -10,9 +10,13 @@ from repro.env import (
     contracts_from_env,
     faults_from_env,
     jobs_from_env,
+    model_dir_from_env,
     profile_from_env,
     propagate_trace_env,
     retries_from_env,
+    serve_batch_from_env,
+    serve_cache_from_env,
+    serve_delay_from_env,
     task_timeout_from_env,
     trace_from_env,
 )
@@ -231,3 +235,73 @@ class TestFaultsFromEnv:
     def test_spec_passes_through_stripped(self, monkeypatch):
         monkeypatch.setenv("REPRO_FAULTS", "  raise:mrcc:0,kill:lac:1 ")
         assert faults_from_env() == "raise:mrcc:0,kill:lac:1"
+
+
+class TestModelDirFromEnv:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MODEL_DIR", raising=False)
+        assert model_dir_from_env() == "."
+        assert model_dir_from_env(default="/models") == "/models"
+
+    def test_value_passes_through_stripped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MODEL_DIR", "  /srv/models ")
+        assert model_dir_from_env() == "/srv/models"
+
+    def test_blank_returns_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MODEL_DIR", "   ")
+        assert model_dir_from_env() == "."
+
+
+class TestServeBatchFromEnv:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_BATCH", raising=False)
+        assert serve_batch_from_env() == 4096
+        assert serve_batch_from_env(default=64) == 64
+
+    def test_positive_integer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_BATCH", " 512 ")
+        assert serve_batch_from_env() == 512
+
+    @pytest.mark.parametrize("raw", ["many", "0", "-3", "2.5"])
+    def test_bad_values_name_the_variable(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_SERVE_BATCH", raw)
+        with pytest.raises(ValueError, match="REPRO_SERVE_BATCH"):
+            serve_batch_from_env()
+
+
+class TestServeDelayFromEnv:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_DELAY", raising=False)
+        assert serve_delay_from_env() == 0.002
+        assert serve_delay_from_env(default=0.1) == 0.1
+
+    def test_zero_means_no_coalescing_wait(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_DELAY", "0")
+        assert serve_delay_from_env() == 0.0
+
+    def test_seconds_parse_as_float(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_DELAY", "0.25")
+        assert serve_delay_from_env() == 0.25
+
+    @pytest.mark.parametrize("raw", ["soon", "-0.01"])
+    def test_bad_values_name_the_variable(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_SERVE_DELAY", raw)
+        with pytest.raises(ValueError, match="REPRO_SERVE_DELAY"):
+            serve_delay_from_env()
+
+
+class TestServeCacheFromEnv:
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_CACHE", raising=False)
+        assert serve_cache_from_env() == 4
+        assert serve_cache_from_env(default=1) == 1
+
+    def test_positive_integer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_CACHE", "16")
+        assert serve_cache_from_env() == 16
+
+    @pytest.mark.parametrize("raw", ["lots", "0", "-1"])
+    def test_bad_values_name_the_variable(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_SERVE_CACHE", raw)
+        with pytest.raises(ValueError, match="REPRO_SERVE_CACHE"):
+            serve_cache_from_env()

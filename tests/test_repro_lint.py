@@ -404,6 +404,50 @@ class TestR011CtypesImports:
         assert codes(source, path=CORE_PATH) == []
 
 
+class TestR012ModelFileIO:
+    BAD_MEMMAP = (
+        "import numpy as np\n"
+        "arrays = np.memmap('golden.model', dtype=np.uint8, mode='r')\n"
+    )
+    BAD_OPEN = "blob = open('golden.model', 'rb').read()\n"
+    BAD_SAVE = "import numpy as np\nnp.save('arrays.npy', x)\n"
+    BAD_LOAD = "import numpy as np\nx = np.load('arrays.npy')\n"
+    STORE_PATH = "src/repro/serve/store.py"
+    SERVE_PATH = "src/repro/serve/model.py"
+
+    def test_memmap_fires_anywhere_in_package(self):
+        assert codes(self.BAD_MEMMAP, path=CORE_PATH) == ["R012"]
+        assert codes(self.BAD_MEMMAP, path=DATA_PATH) == ["R012"]
+        assert codes(self.BAD_MEMMAP, path=self.SERVE_PATH) == ["R012"]
+
+    def test_open_fires_only_in_serve_modules(self):
+        assert codes(self.BAD_OPEN, path=self.SERVE_PATH) == ["R012"]
+        # File I/O elsewhere in the package is not model I/O.
+        assert codes(self.BAD_OPEN, path=DATA_PATH) == []
+
+    def test_numpy_io_fires_in_serve_modules(self):
+        assert codes(self.BAD_SAVE, path=self.SERVE_PATH) == ["R012"]
+        assert codes(self.BAD_LOAD, path=self.SERVE_PATH) == ["R012"]
+
+    def test_store_module_is_exempt(self):
+        assert codes(self.BAD_MEMMAP, path=self.STORE_PATH) == []
+        assert codes(self.BAD_OPEN, path=self.STORE_PATH) == []
+
+    def test_tests_are_exempt(self):
+        assert codes(self.BAD_MEMMAP, path=TEST_PATH) == []
+
+    def test_outside_package_is_exempt(self):
+        assert codes(self.BAD_MEMMAP, path="scripts/tool.py") == []
+
+    def test_line_suppression_silences_r012(self):
+        source = (
+            "import numpy as np\n"
+            "m = np.memmap('f', dtype=np.uint8)"
+            "  # repro-lint: disable=R012\n"
+        )
+        assert codes(source, path=CORE_PATH) == []
+
+
 class TestSuppression:
     def test_line_suppression(self):
         source = "import numpy as np\nx = np.random.rand(3)  # repro-lint: disable=R001\n"
@@ -500,7 +544,18 @@ class TestCli:
 
 @pytest.mark.parametrize(
     "code",
-    ["R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008", "R009"],
+    [
+        "R001",
+        "R002",
+        "R003",
+        "R004",
+        "R005",
+        "R006",
+        "R007",
+        "R008",
+        "R009",
+        "R012",
+    ],
 )
 def test_every_rule_fires_on_its_bad_fixture(code):
     """Acceptance: each of the rules demonstrably fires."""
@@ -514,6 +569,7 @@ def test_every_rule_fires_on_its_bad_fixture(code):
         "R007": (TestR007EnvAccess.BAD_READ, CORE_PATH),
         "R008": (TestR008TimingFunnel.BAD_PERF, CORE_PATH),
         "R009": (TestR009ExceptionHandling.BAD_BARE, CORE_PATH),
+        "R012": (TestR012ModelFileIO.BAD_MEMMAP, CORE_PATH),
     }
     source, path = bad_by_code[code]
     assert code in codes(source, path=path)

@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) for the serving layer.
+
+Four serving invariants must hold for *any* fitted model and any query
+workload, so they are checked over generated inputs rather than pinned
+examples:
+
+* **Round-trip bit-identity** — ``save → load → label`` reproduces the
+  in-memory fit's labels exactly, on every compute backend available
+  in this environment and in both loading modes.
+* **mmap/in-memory equivalence** — the two loading modes expose
+  byte-equal arrays, so no behaviour can depend on which one a worker
+  picked.
+* **Cache algebra** — for any access sequence, ``hits + misses`` is
+  the number of lookups, residency never exceeds capacity, and
+  ``evictions == misses - len(cache)``.
+* **Micro-batch invariance** — however a workload is split into
+  requests and whatever the point budget / delay window, the
+  concatenated labels equal the single-call labels.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import kernels
+from repro.core.mrcc import MrCC
+from repro.data.synthetic import SyntheticDatasetSpec, generate_dataset
+from repro.serve import BatchLabeller, ModelCache, load_model, save_model
+
+AVAILABLE = kernels.available_backends()
+
+model_spec_strategy = st.builds(
+    SyntheticDatasetSpec,
+    dimensionality=st.integers(3, 7),
+    n_points=st.integers(300, 900),
+    n_clusters=st.integers(1, 3),
+    noise_fraction=st.floats(0.0, 0.3),
+    seed=st.integers(0, 200),
+)
+
+
+def _fit_and_save(spec, root, normalize=True, name="prop.model"):
+    dataset = generate_dataset(spec)
+    points = dataset.points * 3.0 - 1.0 if normalize else dataset.points
+    estimator = MrCC(normalize=normalize)
+    estimator.fit(points)
+    path = Path(root) / name
+    save_model(estimator, path)
+    return estimator, points, path
+
+
+class TestRoundTripProperties:
+    @given(spec=model_spec_strategy, normalize=st.booleans())
+    @settings(max_examples=10, deadline=None)
+    def test_round_trip_is_bit_identical(self, spec, normalize):
+        with tempfile.TemporaryDirectory() as root:
+            estimator, points, path = _fit_and_save(spec, root, normalize)
+            for mmap in (True, False):
+                model = load_model(path, mmap=mmap)
+                labels = model.label(points)
+                assert np.array_equal(labels, estimator.labels_)
+
+    @pytest.mark.parametrize("backend", AVAILABLE)
+    @given(spec=model_spec_strategy)
+    @settings(max_examples=6, deadline=None)
+    def test_round_trip_holds_per_backend(self, backend, spec):
+        with tempfile.TemporaryDirectory() as root, (
+            pytest.MonkeyPatch.context()
+        ) as patcher:
+            patcher.setenv("REPRO_BACKEND", backend)
+            estimator, points, path = _fit_and_save(spec, root)
+            model = load_model(path)
+            assert np.array_equal(model.label(points), estimator.labels_)
+
+    @given(spec=model_spec_strategy)
+    @settings(max_examples=8, deadline=None)
+    def test_mmap_and_memory_modes_expose_equal_arrays(self, spec):
+        with tempfile.TemporaryDirectory() as root:
+            self._check_modes_agree(_fit_and_save(spec, root)[2])
+
+    @staticmethod
+    def _check_modes_agree(path):
+        mapped = load_model(path, mmap=True)
+        copied = load_model(path, mmap=False)
+        assert mapped.meta == copied.meta
+        assert mapped.groups == copied.groups
+        for h in mapped.levels:
+            a, b = mapped.levels[h], copied.levels[h]
+            assert np.array_equal(a.coords, b.coords)
+            assert np.array_equal(a.n, b.n)
+            assert np.array_equal(a.half_counts, b.half_counts)
+        for left, right in zip(mapped.betas, copied.betas):
+            assert np.array_equal(left.lower, right.lower)
+            assert np.array_equal(left.upper, right.upper)
+            assert np.array_equal(left.relevant, right.relevant)
+            assert np.array_equal(left.relevances, right.relevances)
+            assert (left.level, left.center_row) == (
+                right.level,
+                right.center_row,
+            )
+
+
+class TestCacheAlgebra:
+    @given(
+        capacity=st.integers(1, 4),
+        accesses=st.lists(st.integers(0, 5), min_size=1, max_size=40),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_counter_algebra(self, capacity, accesses):
+        with tempfile.TemporaryDirectory() as root:
+            self._check_algebra(capacity, accesses, root)
+
+    @staticmethod
+    def _check_algebra(capacity, accesses, root):
+        spec = SyntheticDatasetSpec(
+            dimensionality=3, n_points=300, n_clusters=1, seed=9
+        )
+        estimator, _, _ = _fit_and_save(spec, root, name="m0.model")
+        for k in range(1, 6):
+            save_model(estimator, Path(root) / f"m{k}.model")
+        cache = ModelCache(root=root, capacity=capacity)
+        for index in accesses:
+            cache.get(f"m{index}.model")
+        assert cache.hits + cache.misses == len(accesses)
+        assert len(cache) <= capacity
+        assert len(cache) <= cache.misses
+        assert cache.evictions == cache.misses - len(cache)
+        # Rerunning the same sequence from warm state is all hits once
+        # the working set fits.
+        if len(set(accesses)) <= capacity:
+            before = cache.misses
+            for index in accesses:
+                cache.get(f"m{index}.model")
+            assert cache.misses == before
+
+
+class TestBatchInvariance:
+    @given(
+        cuts=st.lists(st.integers(1, 899), max_size=6, unique=True),
+        batch_points=st.integers(1, 2048),
+        delay=st.sampled_from([0.0, 0.001, 0.005]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_labels_do_not_depend_on_batching(
+        self, cuts, batch_points, delay
+    ):
+        with tempfile.TemporaryDirectory() as root:
+            self._check_invariance(cuts, batch_points, delay, root)
+
+    @staticmethod
+    def _check_invariance(cuts, batch_points, delay, root):
+        spec = SyntheticDatasetSpec(
+            dimensionality=4, n_points=900, n_clusters=2, seed=31
+        )
+        estimator, points, path = _fit_and_save(spec, root)
+        pieces = np.split(points, sorted(cuts))
+        cache = ModelCache(root=path.parent)
+
+        async def main():
+            async with BatchLabeller(
+                cache, batch_points=batch_points, delay=delay
+            ) as labeller:
+                return await asyncio.gather(
+                    *[
+                        labeller.label(path.name, piece)
+                        for piece in pieces
+                        if piece.shape[0]
+                    ]
+                )
+
+        parts = asyncio.run(main())
+        assert np.array_equal(np.concatenate(parts), estimator.labels_)

@@ -28,6 +28,7 @@ RULES: dict[str, str] = {
     "R009": "no bare or silently-swallowed except outside repro.resilience",
     "R010": "no direct numba imports outside repro.core.kernels",
     "R011": "no direct ctypes imports outside the cext backend module",
+    "R012": "no direct model-file I/O outside repro.serve.store",
     "R000": "file could not be parsed",
 }
 
@@ -97,6 +98,31 @@ _PINNED_ALLOCATORS = {
     "arange": 4,
 }
 
+#: File-I/O callables forbidden in serving modules outside the store
+#: (R012): every model byte must pass through the validated, schema-
+#: versioned read/write path so no serving code can grow an unchecked
+#: side-channel format.
+_SERVE_IO_CALLS = frozenset(
+    {
+        "open",
+        "np.save",
+        "np.savez",
+        "np.savez_compressed",
+        "np.load",
+        "np.fromfile",
+        "numpy.save",
+        "numpy.savez",
+        "numpy.savez_compressed",
+        "numpy.load",
+        "numpy.fromfile",
+    }
+)
+
+#: The mmap primitive is the model store's exclusive tool (R012
+#: package-wide): a second mapping site would create level arrays whose
+#: lifetime and read-only guarantees nothing audits.
+_MEMMAP_CALLS = frozenset({"np.memmap", "numpy.memmap"})
+
 _SUPPRESS_LINE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
 _SUPPRESS_FILE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9_,\s]+)")
 
@@ -131,6 +157,8 @@ class PathContext:
     in_resilience: bool
     in_kernels: bool
     is_cext_module: bool
+    in_serve: bool
+    is_model_store_module: bool
 
     @staticmethod
     def classify(path: str) -> "PathContext":
@@ -155,6 +183,10 @@ class PathContext:
             in_kernels="/repro/core/kernels/" in normalized,
             is_cext_module=normalized.endswith(
                 "/repro/core/kernels/cext_backend.py"
+            ),
+            in_serve="/repro/serve/" in normalized,
+            is_model_store_module=normalized.endswith(
+                "/repro/serve/store.py"
             ),
         )
 
@@ -237,6 +269,8 @@ class _RuleVisitor(ast.NodeVisitor):
                 self._check_dtype_pin(node, dotted)
             if self._timing_rule_binds:
                 self._check_timing_call(node, dotted)
+            if self._serve_io_rule_binds:
+                self._check_serve_io(node, dotted)
         self.generic_visit(node)
 
     def _check_randomness(self, node: ast.Call, dotted: str) -> None:
@@ -298,6 +332,41 @@ class _RuleVisitor(ast.NodeVisitor):
                 f"direct timing call {dotted} outside repro.obs (use "
                 "repro.obs.perf_clock / repro.obs.peak_rss_kb so timing "
                 "stays behind the one observability subsystem)",
+            )
+
+    # -- R012: model-file I/O stays inside repro.serve.store ----------
+    # The model format's guarantees — schema versioning, strict header
+    # validation, 64-byte alignment, read-only mmap lifetime — hold only
+    # while every byte passes through the store's read/write pair.  A
+    # direct open/np.save in a serving module would grow an unvalidated
+    # side-channel format, and an np.memmap anywhere else in the package
+    # would map arrays whose lifetime nothing audits.
+
+    @property
+    def _serve_io_rule_binds(self) -> bool:
+        return (
+            self.context.in_package
+            and not self.context.is_test
+            and not self.context.is_model_store_module
+        )
+
+    def _check_serve_io(self, node: ast.Call, dotted: str) -> None:
+        if dotted in _MEMMAP_CALLS:
+            self._add(
+                node,
+                "R012",
+                f"direct {dotted} call outside repro.serve.store (model "
+                "arrays are mapped only by the store, which owns the "
+                "read-only lifetime rules; load models via "
+                "repro.serve.load_model)",
+            )
+        elif self.context.in_serve and dotted in _SERVE_IO_CALLS:
+            self._add(
+                node,
+                "R012",
+                f"direct file I/O {dotted} in a serving module (model "
+                "bytes go through repro.serve.store.write_model/"
+                "read_model so every file is schema-checked)",
             )
 
     def _check_set_materialisation(self, node: ast.Call, dotted: str) -> None:
