@@ -10,7 +10,14 @@ Subcommands
     One synthetic comparison row (``fig5a-c`` .. ``fig5p-r``), or
     ``fig5s`` (Subspaces Quality) or ``fig5t`` (real-data table).
     ``--journal``/``--resume`` checkpoint finished grid cells and pick
-    an interrupted sweep back up where it stopped.
+    an interrupted sweep back up where it stopped; ``--shard i/n``
+    runs only this host's deterministic slice of the grid.
+``fabric merge <shard.jsonl>... -o <merged.jsonl>``
+    Combine per-shard journals into one journal that resumes exactly
+    like an unsharded run's (``fig5 ... --journal merged --resume``).
+``fabric status <journal>``
+    Live progress view of a (possibly still running) journaled run:
+    committed cells by status, in-flight leases, last heartbeat.
 ``demo``
     Tiny end-to-end demonstration on a generated dataset.
 ``save-model <model> --input <points>``
@@ -71,25 +78,43 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
-    journal, resume = args.journal, args.resume
+    journal, resume, shard = args.journal, args.resume, args.shard
     if resume and not journal:
         print("--resume needs --journal <path> to resume from", file=sys.stderr)
         return 2
+    if shard and not journal:
+        print(
+            "--shard needs --journal <path>: the shard's results exist "
+            "only as journal records until `fabric merge`",
+            file=sys.stderr,
+        )
+        return 2
     if args.row == "fig5s":
         rows = run_subspaces_quality(
-            scale=args.scale, journal=journal, resume=resume
+            scale=args.scale, journal=journal, resume=resume, shard=shard
         )
         print(format_series(rows, "subspaces_quality"))
     elif args.row == "fig5t":
-        rows = run_real_data_table(scale=args.scale, journal=journal, resume=resume)
+        rows = run_real_data_table(
+            scale=args.scale, journal=journal, resume=resume, shard=shard
+        )
         print(format_table(rows, ["method", "quality", "peak_kb", "seconds"]))
     else:
         rows = run_figure_row(
-            args.row, scale=args.scale, journal=journal, resume=resume
+            args.row, scale=args.scale, journal=journal, resume=resume,
+            shard=shard,
         )
         for metric in PANEL_METRICS:
             print(format_series(rows, metric))
             print()
+    if shard:
+        print(
+            f"warning: shard {shard} ran only its slice of the grid; "
+            f"the table above is partial — merge the shard journals "
+            f"(`mrcc-repro fabric merge`) and re-run with --resume for "
+            f"the full exhibit",
+            file=sys.stderr,
+        )
     _report_failed_cells(rows)
     if args.save:
         from repro.experiments.summary import save_rows_json
@@ -117,6 +142,44 @@ def _report_failed_cells(rows: list[dict]) -> None:
             f"the tables above are partial",
             file=sys.stderr,
         )
+
+
+def _cmd_fabric_merge(args: argparse.Namespace) -> int:
+    from repro.fabric import JournalError, merge_journals
+
+    try:
+        summary = merge_journals(args.shards, args.output)
+    except JournalError as error:
+        print(f"fabric merge: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"merged {summary['shards']} shard(s), {summary['cells']} "
+        f"cell(s) -> {summary['path']}"
+    )
+    return 0
+
+
+def _cmd_fabric_status(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.fabric import JournalError, format_status, journal_status
+
+    while True:
+        try:
+            status = journal_status(args.journal)
+        except FileNotFoundError:
+            print(f"fabric status: no journal at {args.journal}", file=sys.stderr)
+            return 2
+        except JournalError as error:
+            print(f"fabric status: {error}", file=sys.stderr)
+            return 2
+        print(format_status(status))
+        total = status["total"]
+        done = total is not None and status["committed"] >= total
+        if args.watch is None or done:
+            return 0
+        time.sleep(max(0.1, args.watch))
+        print()
 
 
 def _cmd_summary(args: argparse.Namespace) -> int:
@@ -303,7 +366,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip cells already recorded in --journal and recompute "
         "only the remainder (bit-identical to an uninterrupted run)",
     )
+    fig5.add_argument(
+        "--shard", default=None, metavar="I/N",
+        help="run only this deterministic slice of the grid (cell c "
+        "belongs to shard i of n iff c %% n == i); requires --journal, "
+        "combine with `fabric merge`",
+    )
     fig5.set_defaults(func=_cmd_fig5)
+
+    fabric = sub.add_parser(
+        "fabric", help="journal tooling for sharded runs",
+        parents=[trace_opt],
+    )
+    fabric_sub = fabric.add_subparsers(dest="fabric_command", required=True)
+    merge = fabric_sub.add_parser(
+        "merge", help="merge per-shard journals into one resumable journal"
+    )
+    merge.add_argument("shards", nargs="+", metavar="JSONL")
+    merge.add_argument(
+        "-o", "--output", required=True, metavar="JSONL",
+        help="merged journal path",
+    )
+    merge.set_defaults(func=_cmd_fabric_merge)
+    status = fabric_sub.add_parser(
+        "status", help="progress view of a journaled run"
+    )
+    status.add_argument("journal", metavar="JSONL")
+    status.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="refresh every SECONDS until every cell is committed",
+    )
+    status.set_defaults(func=_cmd_fabric_status)
 
     summary = sub.add_parser(
         "summary", help="aggregate saved rows into Section IV-F averages",

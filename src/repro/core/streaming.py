@@ -16,12 +16,13 @@ data, so phases two and three of MrCC run on it unchanged.
 from __future__ import annotations
 
 from collections.abc import Iterable
-from concurrent.futures import ProcessPoolExecutor
+from typing import Any
 
 import numpy as np
 
 from repro import obs
 from repro.core.contracts import ContractError, check_array
+from repro.fabric.faults import fire
 from repro.core.counting_tree import (
     MAX_RESOLUTIONS,
     MIN_RESOLUTIONS,
@@ -196,20 +197,53 @@ def shard_level_arrays(
     return level_arrays(bin_points(shard, n_resolutions), n_resolutions)
 
 
+def _shard_task(
+    shard: FloatArray,
+    n_resolutions: int,
+    *,
+    attempt: int,
+    fault: str | None,
+    in_worker: bool,
+) -> dict[str, Any]:
+    """One fabric task of the sharded build (pure — runs in workers).
+
+    The fault hook is what lets the chaos suite SIGKILL a tree worker
+    mid-build and prove the lease/retry machinery reproduces the tree
+    bit-identically; a fault-free call is just
+    :func:`shard_level_arrays` wrapped into a result row.
+    """
+    if fault is not None:
+        fire(fault, in_worker)
+    return {
+        "arrays": shard_level_arrays(shard, n_resolutions),
+        "n_points": int(shard.shape[0]),
+    }
+
+
 def sharded_levels(
     points: FloatArray, n_resolutions: int, n_jobs: int
 ) -> dict[int, Level]:
-    """Build all tree levels by fanning point shards over processes.
+    """Build all tree levels by fanning point shards over the fabric.
 
-    The points are split into ``n_jobs`` contiguous shards; each worker
-    cascades its shard into per-level SoA aggregates
+    The points are split into ``n_jobs`` contiguous shards; each fabric
+    task cascades its shard into per-level SoA aggregates
     (:func:`shard_level_arrays`) and the parent reduces the partial
-    trees through :meth:`TreeStreamBuilder.absorb_arrays` in
-    **submission order** — worker *completion* order never influences
-    the reduction, and the merge itself is an associative key-grouped
-    sum, so the result is bit-identical to the serial build (the
-    ``n_jobs`` equivalence suite asserts it).
+    trees through :meth:`TreeStreamBuilder.absorb_arrays` in **task
+    order** — worker *completion* order never influences the reduction,
+    and the merge itself is an associative key-grouped sum, so the
+    result is bit-identical to the serial build (the ``n_jobs``
+    equivalence suite asserts it).
+
+    Dispatch goes through :func:`repro.fabric.run_supervised`, the one
+    supervised execution path in the repo: a worker death or hang costs
+    one shard retry (``REPRO_RETRIES``/``REPRO_TASK_TIMEOUT``), never
+    the build, and ``REPRO_FAULTS`` directives can target shard tasks
+    by their ``tree|shard<i>`` keys (directives aimed at other grids
+    are ignored — the experiment suite plans them strictly against its
+    own cells).
     """
+    from repro.fabric import Task, run_supervised
+
     shards = [
         shard
         for shard in np.array_split(points, max(1, n_jobs))
@@ -217,17 +251,25 @@ def sharded_levels(
     ]
     builder = TreeStreamBuilder(n_resolutions=n_resolutions)
     obs.incr("tree.shards", len(shards))
-    with ProcessPoolExecutor(max_workers=min(n_jobs, len(shards))) as pool:
-        futures = [
-            pool.submit(shard_level_arrays, shard, n_resolutions)
-            for shard in shards
-        ]
-        # Deterministic reduce: iterate futures in the order the shards
-        # were submitted, blocking on each in turn.
-        for shard, future in zip(shards, futures):
-            builder.absorb_arrays(
-                future.result(), n_points=int(shard.shape[0])
+    tasks = [
+        Task(key=f"tree|shard{index}", args=(shard, n_resolutions))
+        for index, shard in enumerate(shards)
+    ]
+    outcomes = run_supervised(
+        _shard_task,
+        tasks,
+        n_jobs=min(n_jobs, len(shards)),
+        strict_faults=False,
+    )
+    for outcome in outcomes:
+        if outcome.row is None:
+            raise RuntimeError(
+                f"tree shard {outcome.key} {outcome.status} after "
+                f"{outcome.attempts} attempt(s): {outcome.error}"
             )
+        builder.absorb_arrays(
+            outcome.row["arrays"], n_points=outcome.row["n_points"]
+        )
     return builder.build_levels()
 
 

@@ -34,6 +34,7 @@ __all__ = [
     "cext_sanitize_from_env",
     "contracts_from_env",
     "faults_from_env",
+    "heartbeat_from_env",
     "jobs_from_env",
     "model_dir_from_env",
     "profile_from_env",
@@ -257,10 +258,38 @@ def faults_from_env(default: str = "") -> str:
     """Raw deterministic fault-injection spec (``REPRO_FAULTS``).
 
     The grammar (``kind:match:cell[:attempts]``, comma-separated) is
-    owned by :mod:`repro.resilience.faults`; this helper only funnels
+    owned by :mod:`repro.fabric.faults`; this helper only funnels
     the ambient read so R007 keeps every ``os.environ`` access here.
     """
     return os.environ.get("REPRO_FAULTS", "").strip() or default
+
+
+def heartbeat_from_env(default: float = 5.0) -> float:
+    """Fabric heartbeat interval in seconds (``REPRO_HEARTBEAT``).
+
+    A journaled run appends a liveness heartbeat (progress counts for
+    ``fabric status``) every this-many seconds.  Unset or blank means
+    ``default``; ``0`` or any false value disables heartbeats; the
+    value must otherwise be a non-negative number.
+    """
+    raw = os.environ.get("REPRO_HEARTBEAT", "").strip()
+    if not raw:
+        return default
+    if raw.lower() in _FALSE_VALUES:
+        return 0.0
+    try:
+        seconds = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_HEARTBEAT must be a non-negative number of seconds "
+            f"or a false value (e.g. REPRO_HEARTBEAT=10), got {raw!r}"
+        ) from None
+    if seconds < 0:
+        raise ValueError(
+            f"REPRO_HEARTBEAT must be a non-negative number of seconds "
+            f"or a false value (e.g. REPRO_HEARTBEAT=10), got {raw!r}"
+        )
+    return seconds
 
 
 def model_dir_from_env(default: str = ".") -> str:

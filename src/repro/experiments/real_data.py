@@ -34,6 +34,7 @@ def run_real_data_table(
     methods: tuple[str, ...] = TABLE_METHODS,
     journal: str | None = None,
     resume: bool = False,
+    shard: str | None = None,
 ) -> list[dict]:
     """Rows of the Figure 5t table on the simulated KDD Cup 2008 data.
 
@@ -43,7 +44,8 @@ def run_real_data_table(
     """
     dataset = real_data_dataset(scale=scale)
     return run_suite(
-        [dataset], methods=methods, profile=profile, journal=journal, resume=resume
+        [dataset], methods=methods, profile=profile, journal=journal, resume=resume,
+        shard=shard,
     )
 
 

@@ -7,7 +7,7 @@ run time (seconds) and memory consumption (KB) of that configuration.
 methods (CFPC in the paper) average over ``n_repeats`` seeded runs.
 
 :func:`run_suite` runs the (dataset, method, configuration) grid under
-the :mod:`repro.resilience` supervisor on both execution paths:
+the :mod:`repro.fabric` supervisor on both execution paths:
 
 * ``n_jobs`` (or ``REPRO_JOBS``) fans cells out over worker processes;
   the default of 1 runs them inline.  Either way the reduction replays
@@ -47,9 +47,10 @@ from repro.experiments.config import (
     method_registry,
     profile_from_env,
 )
-from repro.resilience.faults import FaultSpec, fire
-from repro.resilience.journal import RunJournal, load_journal
-from repro.resilience.supervisor import CellOutcome, Task, run_supervised
+from repro.fabric.faults import FaultSpec, fire
+from repro.fabric.journal import RunJournal, load_records, pending_leases
+from repro.fabric.sharding import ShardSpec, parse_shard, shard_tasks
+from repro.fabric.supervisor import CellOutcome, Task, run_supervised
 from repro.types import Dataset
 
 __all__ = [
@@ -215,21 +216,27 @@ def run_suite(
     faults: str | tuple[FaultSpec, ...] | None = None,
     journal: str | Path | RunJournal | None = None,
     resume: bool | str | Path | Mapping[str, Mapping[str, Any]] = False,
+    shard: str | ShardSpec | None = None,
 ) -> list[dict]:
     """Run the selected methods over a dataset iterable; rows per pair.
 
     ``n_jobs`` (default: the ``REPRO_JOBS`` environment variable, else
     1) fans the (dataset, method, configuration) grid over worker
-    processes; both paths run under the resilience supervisor, so a
-    failing cell degrades into a structured error row instead of
-    aborting the sweep.  ``retries``/``timeout``/``backoff``/``faults``
-    default to their ``REPRO_*`` environment knobs.
+    processes; both paths run under the job fabric, so a failing cell
+    degrades into a structured error row instead of aborting the
+    sweep.  ``retries``/``timeout``/``backoff``/``faults`` default to
+    their ``REPRO_*`` environment knobs.
 
     ``journal`` (a path or an open :class:`RunJournal`) records one
     JSONL line per finished cell.  ``resume`` skips already-journaled
     cells: ``True`` loads the ``journal`` path, or pass a journal path
     or a preloaded ``key -> record`` index directly.  A resume path
     that does not exist yet simply means a fresh run.
+
+    ``shard`` (``"i/n"`` or a parsed :class:`ShardSpec`) runs only this
+    host's deterministic slice of the grid — cell ``c`` belongs to
+    shard ``i`` iff ``c % n == i`` — so ``n`` hosts cover the grid with
+    no coordination beyond a ``fabric merge`` of their journals.
     """
     registry = method_registry()
     unknown = [m for m in methods if m not in registry]
@@ -238,10 +245,20 @@ def run_suite(
     n_jobs = jobs_from_env() if n_jobs is None else int(n_jobs)
     profile = profile or profile_from_env()
     datasets = list(datasets)
+    if isinstance(shard, str):
+        shard = parse_shard(shard)
 
     cells, tasks = _enumerate_cells(datasets, methods, registry, profile)
+    n_cells = len(tasks)
+    if shard is not None:
+        cells = [
+            cell for index, cell in enumerate(cells) if shard.owns(index)
+        ]
+        tasks = shard_tasks(tasks, shard)
     resume_index = _resolve_resume(resume, journal)
-    run_journal, owns_journal = _open_journal(journal, datasets, methods, profile)
+    run_journal, owns_journal = _open_journal(
+        journal, datasets, methods, profile, n_cells, shard
+    )
     try:
         with obs.span("suite.run"):
             outcomes = run_supervised(
@@ -315,11 +332,29 @@ def _resolve_resume(
             path = Path(journal)
         else:
             raise ValueError("resume=True needs a journal path to resume from")
-        return load_journal(path) if path.exists() else {}
+        return _load_resume_index(path) if path.exists() else {}
     if isinstance(resume, (str, Path)):
         path = Path(resume)
-        return load_journal(path) if path.exists() else {}
+        return _load_resume_index(path) if path.exists() else {}
     return dict(resume)
+
+
+def _load_resume_index(path: Path) -> dict[str, Mapping[str, Any]]:
+    """Committed cells of a journal; expired leases become a counter.
+
+    A lease with no commit is a cell the previous run died inside —
+    it stays out of the index, so the fabric re-issues it exactly once
+    (the lease-expiry half of the exactly-once contract).
+    """
+    records = load_records(path)
+    expired = pending_leases(records)
+    if expired:
+        obs.incr("fabric.leases_expired", len(expired))
+    return {
+        record["key"]: record
+        for record in records
+        if record["kind"] == "cell"
+    }
 
 
 def _open_journal(
@@ -327,17 +362,29 @@ def _open_journal(
     datasets: list[Dataset],
     methods: tuple[str, ...],
     profile: str,
+    n_cells: int,
+    shard: ShardSpec | None,
 ) -> tuple[RunJournal | None, bool]:
-    """Open a journal given as a path; pass through an open one."""
+    """Open a journal given as a path; pass through an open one.
+
+    ``n_cells`` is the *full* grid size (all shards), so ``fabric
+    status`` can report progress against the real total; the ``shard``
+    key is present only for sharded runs, which is what lets ``fabric
+    merge`` both validate the partition and emit a merged header
+    byte-identical to an unsharded run's.
+    """
     if journal is None:
         return None, False
     if isinstance(journal, RunJournal):
         return journal, False
-    meta = {
+    meta: dict[str, Any] = {
         "datasets": [dataset.name for dataset in datasets],
         "methods": list(methods),
         "profile": profile,
+        "n_cells": n_cells,
     }
+    if shard is not None:
+        meta["shard"] = str(shard)
     return RunJournal(journal, meta=meta), True
 
 

@@ -46,6 +46,7 @@ def run_figure_row(
     profile: str | None = None,
     journal: str | None = None,
     resume: bool = False,
+    shard: str | None = None,
 ) -> list[dict]:
     """Run one Figure 5 row and return its rows.
 
@@ -60,7 +61,8 @@ def run_figure_row(
         raise ValueError(f"unknown figure {figure!r}; expected one of: {valid}") from None
     datasets = suite_by_name(row.suite, scale=scale)
     return run_suite(
-        datasets, methods=methods, profile=profile, journal=journal, resume=resume
+        datasets, methods=methods, profile=profile, journal=journal, resume=resume,
+        shard=shard,
     )
 
 
@@ -69,6 +71,7 @@ def run_subspaces_quality(
     profile: str | None = None,
     journal: str | None = None,
     resume: bool = False,
+    shard: str | None = None,
 ) -> list[dict]:
     """Figure 5s: Subspaces Quality over the first group, LAC excluded.
 
@@ -78,5 +81,6 @@ def run_subspaces_quality(
     methods = tuple(m for m in HEADLINE_METHODS if m != "LAC")
     datasets = suite_by_name("first_group", scale=scale)
     return run_suite(
-        datasets, methods=methods, profile=profile, journal=journal, resume=resume
+        datasets, methods=methods, profile=profile, journal=journal, resume=resume,
+        shard=shard,
     )

@@ -1,0 +1,183 @@
+"""Multi-host sharding: deterministic grid slicing and journal merge.
+
+A run too large for one machine is split with ``--shard i/n``: task
+``t`` (by its index in the deterministic serial sweep order) belongs
+to shard ``i`` iff ``t % n == i``.  The slicing is a pure function of
+the task order, so every host computes the same partition from the
+same configuration with no coordination — the only shared artifact is
+the per-shard journal each host writes.
+
+``merge_journals`` folds the per-shard journals into one merged
+journal that resumes exactly like an unsharded run's.  Determinism
+rules (enforced here, documented in DESIGN.md §10):
+
+* every shard of the declared ``n`` must be present, exactly once,
+  and all shard headers must agree on the run metadata (the ``shard``
+  key aside) — merging journals from different grids is an error, not
+  a weird report;
+* cell keys must be disjoint across shards (guaranteed by the modular
+  slicing; a collision means the inputs were not a real partition);
+* operational records (lease/heartbeat/steal) are dropped — they
+  describe *how* each shard ran, not *what* it computed;
+* committed cell records are sorted by key, so the merged bytes do
+  not depend on the order shards finished or were listed.
+
+A shard interrupted mid-run merges fine: its missing cells are simply
+absent, and a resume from the merged journal re-runs exactly those —
+the final report stays bit-identical to an undisturbed unsharded run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.fabric.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    JournalError,
+    load_records,
+)
+from repro.fabric.supervisor import Task
+
+__all__ = ["ShardSpec", "merge_journals", "parse_shard", "shard_tasks"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One slice of a sharded run: shard ``index`` of ``count``."""
+
+    index: int
+    count: int
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+    def owns(self, task_index: int) -> bool:
+        """Whether this shard runs the ``task_index``-th task."""
+        return task_index % self.count == self.index
+
+
+def parse_shard(spec: str) -> ShardSpec:
+    """Parse an ``i/n`` shard spec (0-based index, ``0 <= i < n``)."""
+    parts = spec.strip().split("/")
+    if len(parts) != 2:
+        raise ValueError(f"shard spec {spec!r} must be i/n (e.g. 0/2)")
+    try:
+        index, count = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ValueError(
+            f"shard spec {spec!r}: index and count must be integers"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(
+            f"shard spec {spec!r}: need count >= 1 and 0 <= index < count"
+        )
+    return ShardSpec(index=index, count=count)
+
+
+def shard_tasks(tasks: Sequence[Task], shard: ShardSpec | None) -> list[Task]:
+    """This shard's slice of the task grid, in sweep order.
+
+    ``None`` (unsharded) returns every task.  The slice keys on the
+    task's *index* in the full grid, never its content, so all hosts
+    agree on the partition without coordination.
+    """
+    if shard is None:
+        return list(tasks)
+    return [task for index, task in enumerate(tasks) if shard.owns(index)]
+
+
+def _shard_header(path: Path) -> dict[str, Any]:
+    records = load_records(path)
+    if not records or records[0]["kind"] != "header":
+        raise JournalError(f"shard journal {path} has no header record")
+    return records[0]
+
+
+def merge_journals(
+    shard_paths: Sequence[str | Path], out_path: str | Path
+) -> dict[str, Any]:
+    """Merge per-shard journals into one resumable journal.
+
+    Validates the inputs form a complete, disjoint ``n``-way partition
+    of one run (see module docstring), writes the merged journal to
+    ``out_path``, and returns a summary (``shards``, ``cells``,
+    ``path``).  Raises :class:`JournalError` on any partition or
+    metadata violation.
+    """
+    paths = [Path(p) for p in shard_paths]
+    if not paths:
+        raise JournalError("fabric merge needs at least one shard journal")
+
+    shards: dict[int, Path] = {}
+    common_meta: dict[str, Any] | None = None
+    count: int | None = None
+    cells: dict[str, dict[str, Any]] = {}
+    owner: dict[str, Path] = {}
+
+    for path in paths:
+        header = _shard_header(path)
+        meta = dict(header["meta"])
+        shard_value = meta.pop("shard", None)
+        if not isinstance(shard_value, str):
+            raise JournalError(
+                f"shard journal {path} header has no shard spec in its "
+                f"meta — was it written by a sharded run?"
+            )
+        shard = parse_shard(shard_value)
+        if count is None:
+            count = shard.count
+        elif shard.count != count:
+            raise JournalError(
+                f"shard journal {path} declares {shard.count} shards, "
+                f"previous journals declared {count}"
+            )
+        if shard.index in shards:
+            raise JournalError(
+                f"shard {shard.index}/{shard.count} appears twice: "
+                f"{shards[shard.index]} and {path}"
+            )
+        shards[shard.index] = path
+        if common_meta is None:
+            common_meta = meta
+        elif meta != common_meta:
+            raise JournalError(
+                f"shard journal {path} metadata disagrees with the other "
+                f"shards — these journals are not slices of one run"
+            )
+        # Last record wins within one shard (a resumed shard appends
+        # below its earlier records); disjointness across shards.
+        for record in load_records(path):
+            if record["kind"] != "cell":
+                continue
+            key = record["key"]
+            if key in owner and owner[key] != path:
+                raise JournalError(
+                    f"cell {key!r} committed by both {owner[key]} and "
+                    f"{path} — the inputs are not a disjoint partition"
+                )
+            owner[key] = path
+            cells[key] = record
+
+    assert count is not None and common_meta is not None
+    missing = sorted(set(range(count)) - set(shards))
+    if missing:
+        raise JournalError(
+            f"incomplete partition: missing shard(s) "
+            f"{', '.join(f'{i}/{count}' for i in missing)}"
+        )
+
+    out = Path(out_path)
+    header_record = {
+        "schema": JOURNAL_SCHEMA_VERSION,
+        "kind": "header",
+        "meta": common_meta,
+    }
+    lines = [json.dumps(header_record, sort_keys=True)]
+    lines.extend(
+        json.dumps(cells[key], sort_keys=True) for key in sorted(cells)
+    )
+    out.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return {"shards": count, "cells": len(cells), "path": str(out)}

@@ -1,33 +1,26 @@
-"""Resilience layer: supervised execution for the experiment grid.
+"""Compatibility shim: ``repro.resilience`` grew into ``repro.fabric``.
 
-Three pieces, each usable on its own:
-
-* :mod:`repro.resilience.supervisor` — per-cell isolation (exceptions,
-  deadlines, worker deaths), seeded retry with deterministic backoff,
-  and graceful degradation into structured error rows;
-* :mod:`repro.resilience.journal` — the append-fsync JSONL run journal
-  behind checkpoint-resume;
-* :mod:`repro.resilience.faults` — the deterministic fault-injection
-  harness (``REPRO_FAULTS``) the chaos tests drive.
-
-``experiments.runner`` wires all three under ``run_suite``.
+PR 5's suite-shaped supervisor/journal/fault triple was generalized
+into the job fabric (work queue, leases, stealing, sharding); this
+package re-exports the original public names so existing imports keep
+working.  New code should import :mod:`repro.fabric` directly.
 """
 
-from repro.resilience.faults import (
+from repro.fabric.faults import (
     FaultSpec,
     InjectedFault,
     SimulatedKill,
     parse_faults,
     plan_faults,
 )
-from repro.resilience.journal import (
+from repro.fabric.journal import (
     JOURNAL_SCHEMA_VERSION,
     JournalError,
     RunJournal,
     load_journal,
     validate_record,
 )
-from repro.resilience.supervisor import (
+from repro.fabric.supervisor import (
     CellOutcome,
     CellTimeout,
     Task,

@@ -1,47 +1,13 @@
-"""Deterministic fault injection for the resilient experiment runner.
+"""Compatibility shim for :mod:`repro.fabric.faults` (see package doc)."""
 
-The test suite (and anyone chaos-testing a deployment) needs to prove
-that every failure mode the supervisor claims to survive — an ordinary
-exception, a hang that must be reaped by the per-task deadline, and a
-worker process dying outright — is actually survived, end to end, under
-both the serial and the ``REPRO_JOBS`` paths.  Randomized fault
-injection cannot prove that (a flaky chaos test is worse than none), so
-faults here are *planned*: the parent parses a spec once, maps each
-fault onto exactly one grid cell by its position in the deterministic
-serial sweep order, and ships the directive to the task as a plain
-argument.  Workers never read the environment (the ``repro_analyze``
-purity pass forbids ambient reads inside worker closures).
-
-Spec grammar (``REPRO_FAULTS``), comma-separated directives::
-
-    kind:match:cell[:attempts]
-
-``kind``
-    ``raise`` (raise :class:`InjectedFault`), ``hang`` (sleep until the
-    supervisor's deadline reaps the attempt) or ``kill`` (die without
-    unwinding: ``os._exit`` in a worker process, a simulated
-    :class:`SimulatedKill` on the serial path where ``os._exit`` would
-    take the whole suite down).
-``match``
-    Case-insensitive substring matched against the cell key (which
-    embeds dataset and method names, so ``mrcc`` or ``18d|LAC`` both
-    select).
-``cell``
-    0-based index among the *matching* cells, in serial sweep order.
-``attempts``
-    Optional: sabotage only the first N attempts of the cell, so a
-    retry budget >= N recovers it (status ``retried``).  Omitted means
-    every attempt fails (the cell becomes a structured error row).
-
-Example: ``raise:mrcc:0:1,hang:lac:1,kill:clique:0``.
-"""
-
-from __future__ import annotations
-
-import os
-import time
-from dataclasses import dataclass
-from typing import Sequence
+from repro.fabric.faults import (
+    FaultSpec,
+    InjectedFault,
+    SimulatedKill,
+    fire,
+    parse_faults,
+    plan_faults,
+)
 
 __all__ = [
     "FaultSpec",
@@ -51,149 +17,3 @@ __all__ = [
     "parse_faults",
     "plan_faults",
 ]
-
-_KINDS = ("raise", "hang", "kill")
-
-_KILL_EXIT_CODE = 113
-"""Worker exit code for an injected ``kill`` (distinctive in core dumps
-and CI logs; any abnormal exit surfaces as ``BrokenProcessPool``)."""
-
-_HANG_SLICES = 12_000
-_HANG_SLICE_SECONDS = 0.05
-"""A ``hang`` sleeps in short slices (10 minutes total, not forever):
-the serial path interrupts the sleep with its deadline alarm, the
-parallel path kills the worker process, and a misconfigured run without
-any deadline still terminates eventually instead of wedging CI."""
-
-
-class InjectedFault(RuntimeError):
-    """The planned exception raised by a ``raise`` fault."""
-
-
-class SimulatedKill(RuntimeError):
-    """Serial-path stand-in for a worker death.
-
-    On the serial path ``os._exit`` would take the whole suite down, so
-    ``kill`` raises this instead; the supervisor classifies it as
-    ``crashed``, exactly like the ``BrokenProcessPool`` a real worker
-    death produces under ``REPRO_JOBS``.
-    """
-
-
-@dataclass(frozen=True)
-class FaultSpec:
-    """One parsed fault directive."""
-
-    kind: str
-    match: str
-    cell: int
-    attempts: int | None = None
-
-    def sabotages(self, attempt: int) -> bool:
-        """Whether this fault fires on the given 0-based attempt."""
-        return self.attempts is None or attempt < self.attempts
-
-
-def parse_faults(spec: str) -> tuple[FaultSpec, ...]:
-    """Parse a ``REPRO_FAULTS`` spec string into fault directives.
-
-    Raises ``ValueError`` naming the offending directive on any
-    grammar violation; an empty or blank spec parses to ``()``.
-    """
-    spec = spec.strip()
-    if not spec:
-        return ()
-    faults = []
-    for token in spec.split(","):
-        token = token.strip()
-        if not token:
-            continue
-        parts = token.split(":")
-        if len(parts) not in (3, 4):
-            raise ValueError(
-                f"REPRO_FAULTS directive {token!r} must be "
-                f"kind:match:cell[:attempts]"
-            )
-        kind, match = parts[0].strip().lower(), parts[1].strip()
-        if kind not in _KINDS:
-            raise ValueError(
-                f"REPRO_FAULTS kind must be one of {'/'.join(_KINDS)}, "
-                f"got {parts[0]!r} in {token!r}"
-            )
-        if not match:
-            raise ValueError(
-                f"REPRO_FAULTS directive {token!r} has an empty match "
-                f"pattern"
-            )
-        try:
-            cell = int(parts[2])
-            attempts = int(parts[3]) if len(parts) == 4 else None
-        except ValueError:
-            raise ValueError(
-                f"REPRO_FAULTS directive {token!r}: cell and attempts "
-                f"must be integers"
-            ) from None
-        if cell < 0 or (attempts is not None and attempts < 1):
-            raise ValueError(
-                f"REPRO_FAULTS directive {token!r}: cell must be >= 0 "
-                f"and attempts >= 1"
-            )
-        faults.append(
-            FaultSpec(kind=kind, match=match, cell=cell, attempts=attempts)
-        )
-    return tuple(faults)
-
-
-def plan_faults(
-    keys: Sequence[str], faults: Sequence[FaultSpec]
-) -> dict[int, FaultSpec]:
-    """Map each fault onto the index of the task it sabotages.
-
-    ``keys`` are the cell keys in serial sweep order; each directive
-    binds to the ``cell``-th key containing its ``match`` substring
-    (case-insensitively).  A directive that matches no cell raises — a
-    chaos test whose fault silently misses its target would "pass" by
-    proving nothing.  When two directives select the same cell the
-    later one wins.
-    """
-    lowered = [key.lower() for key in keys]
-    plan: dict[int, FaultSpec] = {}
-    for fault in faults:
-        needle = fault.match.lower()
-        seen = 0
-        for index, key in enumerate(lowered):
-            if needle in key:
-                if seen == fault.cell:
-                    plan[index] = fault
-                    break
-                seen += 1
-        else:
-            raise ValueError(
-                f"fault {fault.kind}:{fault.match}:{fault.cell} matches "
-                f"no cell ({seen} cells contain {fault.match!r}, "
-                f"index {fault.cell} requested)"
-            )
-    return plan
-
-
-def fire(kind: str, in_worker: bool) -> None:
-    """Trigger one fault inside a task attempt.
-
-    Called by the task function itself (so the ``repro_analyze`` purity
-    pass sees this code in every worker closure and proves it ambient
-    free).  ``in_worker`` distinguishes a real process death from its
-    serial simulation.
-    """
-    if kind == "raise":
-        raise InjectedFault("injected fault: planned exception")
-    if kind == "hang":
-        for _ in range(_HANG_SLICES):
-            time.sleep(_HANG_SLICE_SECONDS)
-        raise InjectedFault("injected hang outlived its bounded sleep")
-    if kind == "kill":
-        if in_worker:
-            os._exit(_KILL_EXIT_CODE)
-        raise SimulatedKill(
-            "injected fault: simulated worker death (serial path)"
-        )
-    raise ValueError(f"unknown fault kind {kind!r}")

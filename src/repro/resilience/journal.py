@@ -1,180 +1,23 @@
-"""The JSONL run journal: append-only record of completed grid cells.
+"""Compatibility shim for :mod:`repro.fabric.journal` (see package doc)."""
 
-A long suite run writes one record per *terminal* cell outcome (ok,
-retried, failed, timeout or crashed) to a journal file, flushed and
-fsynced per line so a crash loses at most the in-flight cells.  A
-later ``run_suite(..., journal=path, resume=True)`` loads the journal,
-skips every journaled cell and reproduces only the remaining ones —
-the deterministic row fields of the resumed table are bit-identical to
-an uninterrupted run because journaled rows round-trip through JSON
-(``repr``-exact floats) and the remaining cells recompute from the
-same seeds.
-
-Like ``repro.obs.schema``, the record shape is versioned and strictly
-validated: a journal written by a future incompatible version fails
-loudly instead of silently resuming garbage.
-"""
-
-from __future__ import annotations
-
-import json
-import os
-from pathlib import Path
-from typing import Any, Mapping
+from repro.fabric.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    JournalError,
+    JournalLockError,
+    RunJournal,
+    load_journal,
+    load_records,
+    pending_leases,
+    validate_record,
+)
 
 __all__ = [
     "JOURNAL_SCHEMA_VERSION",
     "JournalError",
+    "JournalLockError",
     "RunJournal",
     "load_journal",
+    "load_records",
+    "pending_leases",
     "validate_record",
 ]
-
-JOURNAL_SCHEMA_VERSION = 1
-
-_RECORD_KINDS = frozenset({"header", "cell"})
-_CELL_KEYS = frozenset({"schema", "kind", "key", "status", "attempts", "row", "error"})
-_HEADER_KEYS = frozenset({"schema", "kind", "meta"})
-_STATUSES = frozenset({"ok", "retried", "failed", "timeout", "crashed"})
-
-
-class JournalError(ValueError):
-    """A journal file or record broke the stable schema."""
-
-
-def _fail(message: str) -> None:
-    raise JournalError(message)
-
-
-def validate_record(record: Any) -> dict[str, Any]:
-    """Validate one journal record; returns it for call-site chaining."""
-    if not isinstance(record, dict):
-        _fail(f"journal record must be a JSON object, got {type(record).__name__}")
-    if record.get("schema") != JOURNAL_SCHEMA_VERSION:
-        _fail(
-            f"journal schema must be {JOURNAL_SCHEMA_VERSION}, "
-            f"got {record.get('schema')!r}"
-        )
-    kind = record.get("kind")
-    if kind not in _RECORD_KINDS:
-        _fail(f"journal record kind must be header or cell, got {kind!r}")
-    if kind == "header":
-        if set(record) != _HEADER_KEYS:
-            _fail(
-                f"header record keys mismatch: expected "
-                f"{sorted(_HEADER_KEYS)}, got {sorted(record)}"
-            )
-        if not isinstance(record["meta"], dict):
-            _fail("header meta must be an object")
-        return record
-    if set(record) != _CELL_KEYS:
-        _fail(
-            f"cell record keys mismatch: expected {sorted(_CELL_KEYS)}, "
-            f"got {sorted(record)}"
-        )
-    if not isinstance(record["key"], str) or not record["key"]:
-        _fail("cell key must be a non-empty string")
-    if record["status"] not in _STATUSES:
-        _fail(
-            f"cell status must be one of {sorted(_STATUSES)}, "
-            f"got {record['status']!r}"
-        )
-    attempts = record["attempts"]
-    if not isinstance(attempts, int) or isinstance(attempts, bool) or attempts < 1:
-        _fail(f"cell attempts must be a positive integer, got {attempts!r}")
-    if record["row"] is not None and not isinstance(record["row"], dict):
-        _fail("cell row must be an object or null")
-    if record["error"] is not None and not isinstance(record["error"], dict):
-        _fail("cell error must be an object or null")
-    return record
-
-
-class RunJournal:
-    """Append-fsync JSONL journal of terminal cell outcomes.
-
-    Opening a fresh file writes a header record; opening an existing
-    file (resume) appends below the previous run's records.  Use as a
-    context manager or call :meth:`close` explicitly.
-    """
-
-    def __init__(
-        self, path: str | Path, meta: Mapping[str, Any] | None = None
-    ) -> None:
-        self.path = Path(path)
-        existed = self.path.exists() and self.path.stat().st_size > 0
-        self._handle = self.path.open("a", encoding="utf-8")
-        if not existed:
-            self._append(
-                {
-                    "schema": JOURNAL_SCHEMA_VERSION,
-                    "kind": "header",
-                    "meta": dict(meta or {}),
-                }
-            )
-
-    def record_cell(
-        self,
-        key: str,
-        status: str,
-        attempts: int,
-        row: Mapping[str, Any] | None,
-        error: Mapping[str, Any] | None,
-    ) -> None:
-        """Append one terminal cell outcome (validated before writing)."""
-        record = validate_record(
-            {
-                "schema": JOURNAL_SCHEMA_VERSION,
-                "kind": "cell",
-                "key": key,
-                "status": status,
-                "attempts": attempts,
-                "row": dict(row) if row is not None else None,
-                "error": dict(error) if error is not None else None,
-            }
-        )
-        self._append(record)
-
-    def _append(self, record: dict[str, Any]) -> None:
-        if self._handle.closed:
-            raise JournalError(f"journal {self.path} is closed")
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
-
-    def close(self) -> None:
-        if not self._handle.closed:
-            self._handle.close()
-
-    def __enter__(self) -> "RunJournal":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
-
-
-def load_journal(path: str | Path) -> dict[str, dict[str, Any]]:
-    """Load a journal into a ``key -> cell record`` resume index.
-
-    A torn final line — the expected leftover of a crash mid-append —
-    is dropped; malformed records anywhere else raise
-    :class:`JournalError` naming the line.  When a key appears twice
-    (a resumed run appended below an older one) the last record wins.
-    """
-    path = Path(path)
-    index: dict[str, dict[str, Any]] = {}
-    lines = path.read_text(encoding="utf-8").splitlines()
-    for number, line in enumerate(lines, start=1):
-        if not line.strip():
-            continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError:
-            if number == len(lines):
-                break  # torn final line from an interrupted append
-            raise JournalError(
-                f"{path}:{number}: malformed journal line"
-            ) from None
-        validate_record(record)
-        if record["kind"] == "cell":
-            index[record["key"]] = record
-    return index

@@ -1,563 +1,28 @@
-"""Task supervision: per-cell isolation, deadlines, retries, resume.
+"""Compatibility shim for :mod:`repro.fabric.supervisor` (see package doc).
 
-The experiment grid is a long list of independent cells; one cell
-raising, hanging or taking its worker process down must cost exactly
-that cell, never the suite.  The supervisor owns that guarantee for
-both execution paths:
-
-Serial (``n_jobs == 1``)
-    Cells run inline.  Exceptions are caught per cell; the per-attempt
-    deadline is enforced with a ``SIGALRM`` interval timer (POSIX main
-    thread — elsewhere the deadline is skipped, never mis-enforced).
-
-Parallel (``n_jobs > 1``)
-    ``n_jobs`` *independent single-worker pools* ("slots").  A worker
-    death breaks only its own slot's ``ProcessPoolExecutor`` — the
-    resulting ``BrokenProcessPool`` is attributed unambiguously to the
-    one cell that slot was running, the slot is rebuilt, and no other
-    in-flight cell is disturbed.  A cell past its deadline gets its
-    slot's worker killed the same way.  (A single shared pool cannot do
-    this: one ``os._exit`` breaks every in-flight future at once.)
-
-Failed attempts retry up to ``retries`` times with exponential backoff
-(``backoff * 2**k`` seconds plus a deterministic jitter derived from
-the cell key, so reruns are bit-reproducible).  Terminal outcomes are
-one of ``ok`` (first attempt succeeded), ``retried`` (a retry
-succeeded), ``failed`` (exception), ``timeout`` (deadline) or
-``crashed`` (worker death) — and are appended to an optional
-:class:`~repro.resilience.journal.RunJournal`, enabling
-checkpoint-resume.
-
-The worker function is called as ``fn(*args, attempt=k, fault=kind,
-in_worker=flag)`` — the fault directive travels as a plain argument so
-worker closures stay free of ambient reads (the ``repro_analyze``
-purity pass roots every function dispatched through
-:func:`run_supervised` exactly like a raw ``pool.submit``).
+The underscored helpers are re-exported too: the resilience test suite
+historically reached into them, and a shim that silently dropped them
+would break on import rather than at the call site.
 """
 
-from __future__ import annotations
-
-import signal
-import threading
-import time
-import zlib
-from collections.abc import Callable, Iterator, Mapping, Sequence
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures import BrokenExecutor
-from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Any
-
-from repro import obs
-from repro.env import (
-    backoff_from_env,
-    faults_from_env,
-    retries_from_env,
-    task_timeout_from_env,
+from repro.fabric.supervisor import (
+    CellOutcome,
+    CellTimeout,
+    Task,
+    _backoff_delay,
+    _deadline,
+    _error_summary,
+    _journal_view,
+    run_supervised,
 )
-from repro.resilience.faults import (
-    FaultSpec,
-    SimulatedKill,
-    fire,
-    parse_faults,
-    plan_faults,
-)
-from repro.resilience.journal import RunJournal
 
 __all__ = [
-    "CellTimeout",
     "CellOutcome",
+    "CellTimeout",
     "Task",
     "run_supervised",
+    "_backoff_delay",
+    "_deadline",
+    "_error_summary",
+    "_journal_view",
 ]
-
-_MAX_ERROR_CHARS = 500
-
-_KILL_GRACE_SECONDS = 10.0
-"""How long to wait for a killed slot's future to resolve before
-abandoning it; the executor's management thread normally breaks the
-future within milliseconds of the worker dying."""
-
-_MIN_WAIT_SECONDS = 0.01
-
-
-class CellTimeout(Exception):
-    """A task attempt exceeded its per-attempt deadline."""
-
-
-@dataclass(frozen=True)
-class Task:
-    """One supervised unit of work.
-
-    ``key`` is the stable identity used for journaling, resume and
-    fault matching; ``args`` are the positional arguments forwarded to
-    the worker function (picklable under ``n_jobs > 1``).
-    """
-
-    key: str
-    args: tuple[Any, ...]
-
-
-@dataclass
-class CellOutcome:
-    """Terminal result of one supervised task."""
-
-    key: str
-    status: str  # ok | retried | failed | timeout | crashed
-    attempts: int
-    row: dict[str, Any] | None
-    error: dict[str, Any] | None
-    resumed: bool = False
-
-
-def run_supervised(
-    worker: Callable[..., dict[str, Any]],
-    tasks: Sequence[Task],
-    *,
-    n_jobs: int = 1,
-    retries: int | None = None,
-    timeout: float | None = None,
-    backoff: float | None = None,
-    faults: Sequence[FaultSpec] | str | None = None,
-    journal: RunJournal | None = None,
-    resume: Mapping[str, Mapping[str, Any]] | None = None,
-) -> list[CellOutcome]:
-    """Run every task under supervision; outcomes in task order.
-
-    ``worker`` must be a module-level function (picklable) accepting
-    ``fn(*task.args, attempt=k, fault=kind_or_None, in_worker=bool)``.
-    ``retries`` / ``timeout`` / ``backoff`` default to the
-    ``REPRO_RETRIES`` / ``REPRO_TASK_TIMEOUT`` / ``REPRO_BACKOFF``
-    environment knobs; ``faults`` accepts a parsed spec, a raw spec
-    string, or ``None`` to read ``REPRO_FAULTS``.  ``resume`` maps task
-    keys to journaled cell records whose outcomes are replayed without
-    re-executing.
-    """
-    if isinstance(faults, str):
-        fault_specs: Sequence[FaultSpec] = parse_faults(faults)
-    elif faults is None:
-        fault_specs = parse_faults(faults_from_env())
-    else:
-        fault_specs = tuple(faults)
-    supervisor = _Supervisor(
-        worker=worker,
-        tasks=list(tasks),
-        retries=retries_from_env() if retries is None else int(retries),
-        timeout=task_timeout_from_env() if timeout is None else (timeout or None),
-        backoff=backoff_from_env() if backoff is None else float(backoff),
-        fault_plan=plan_faults([task.key for task in tasks], fault_specs),
-        journal=journal,
-        resume=resume or {},
-    )
-    if n_jobs <= 1:
-        supervisor.run_serial()
-    else:
-        supervisor.run_parallel(int(n_jobs))
-    return supervisor.outcomes()
-
-
-def _error_summary(exc: BaseException) -> dict[str, Any]:
-    """Picklable, journalable one-line summary of an exception."""
-    message = str(exc)
-    if len(message) > _MAX_ERROR_CHARS:
-        message = message[: _MAX_ERROR_CHARS - 3] + "..."
-    return {"type": type(exc).__name__, "message": message}
-
-
-def _backoff_delay(base: float, attempt: int, key: str) -> float:
-    """Deterministic exponential backoff before retry ``attempt``.
-
-    ``base * 2**(attempt-1)`` seconds scaled by a jitter in ``[1, 1.25)``
-    seeded from the cell key — stable across reruns and processes
-    (``zlib.crc32``, not the salted builtin ``hash``).
-    """
-    if base <= 0.0 or attempt <= 0:
-        return 0.0
-    jitter = 1.0 + (zlib.crc32(f"{key}#{attempt}".encode()) % 1024) / 4096.0
-    return base * (2.0 ** (attempt - 1)) * jitter
-
-
-@contextmanager
-def _deadline(seconds: float | None) -> Iterator[None]:
-    """Raise :class:`CellTimeout` after ``seconds`` of the body.
-
-    Uses a ``SIGALRM`` interval timer, which only works on POSIX main
-    threads; anywhere else the deadline is skipped (a wrongly-armed
-    alarm in a thread would kill an unrelated frame).
-    """
-    if (
-        seconds is None
-        or not hasattr(signal, "SIGALRM")
-        or threading.current_thread() is not threading.main_thread()
-    ):
-        yield
-        return
-
-    def _on_alarm(signum: int, frame: object) -> None:
-        raise CellTimeout(f"attempt exceeded its {seconds:g}s deadline")
-
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
-
-
-@dataclass
-class _Pending:
-    """A task attempt waiting to run (possibly in backoff)."""
-
-    task_index: int
-    attempt: int
-    not_before: float = 0.0
-
-
-class _Slot:
-    """One single-worker pool; broken slots rebuild lazily."""
-
-    def __init__(self) -> None:
-        self._pool: ProcessPoolExecutor | None = None
-
-    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=1)
-        try:
-            return self._pool.submit(fn, *args, **kwargs)
-        except BrokenExecutor:
-            # The previous task broke the pool after its future resolved;
-            # rebuild once and resubmit.
-            self.discard()
-            self._pool = ProcessPoolExecutor(max_workers=1)
-            return self._pool.submit(fn, *args, **kwargs)
-
-    def kill(self) -> None:
-        """Kill the slot's worker process and drop the pool."""
-        pool = self._pool
-        self._pool = None
-        if pool is None:
-            return
-        processes = getattr(pool, "_processes", None) or {}
-        for process in list(processes.values()):
-            process.kill()
-        pool.shutdown(wait=True, cancel_futures=True)
-
-    def discard(self) -> None:
-        """Drop a broken pool (its worker is already gone)."""
-        pool = self._pool
-        self._pool = None
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
-
-    def close(self) -> None:
-        pool = self._pool
-        self._pool = None
-        if pool is not None:
-            pool.shutdown(wait=True)
-
-
-@dataclass
-class _InFlight:
-    """A submitted attempt bound to its slot and deadline."""
-
-    pending: _Pending
-    slot: _Slot
-    future: Future
-    deadline_at: float | None
-
-
-class _Supervisor:
-    """Shared retry/outcome bookkeeping for both execution paths."""
-
-    def __init__(
-        self,
-        worker: Callable[..., dict[str, Any]],
-        tasks: list[Task],
-        retries: int,
-        timeout: float | None,
-        backoff: float,
-        fault_plan: dict[int, FaultSpec],
-        journal: RunJournal | None,
-        resume: Mapping[str, Mapping[str, Any]],
-    ) -> None:
-        self._worker = worker
-        self._tasks = tasks
-        self._retries = retries
-        self._timeout = timeout
-        self._backoff = backoff
-        self._fault_plan = fault_plan
-        self._journal = journal
-        self._resume = resume
-        self._outcomes: list[CellOutcome | None] = [None] * len(tasks)
-
-    def outcomes(self) -> list[CellOutcome]:
-        assert all(outcome is not None for outcome in self._outcomes)
-        return [outcome for outcome in self._outcomes if outcome is not None]
-
-    # -- shared bookkeeping -------------------------------------------
-
-    def _fault_kind(self, task_index: int, attempt: int) -> str | None:
-        fault = self._fault_plan.get(task_index)
-        if fault is not None and fault.sabotages(attempt):
-            return fault.kind
-        return None
-
-    def _resume_outcome(self, task_index: int) -> bool:
-        """Replay a journaled outcome; True when the task is covered."""
-        record = self._resume.get(self._tasks[task_index].key)
-        if record is None:
-            return False
-        self._outcomes[task_index] = CellOutcome(
-            key=self._tasks[task_index].key,
-            status=str(record["status"]),
-            attempts=int(record["attempts"]),
-            row=dict(record["row"]) if record["row"] is not None else None,
-            error=dict(record["error"]) if record["error"] is not None else None,
-            resumed=True,
-        )
-        obs.incr("resilience.cells_resumed")
-        return True
-
-    def _finish(self, task_index: int, outcome: CellOutcome) -> None:
-        """Record a terminal outcome: counters plus the journal line."""
-        self._outcomes[task_index] = outcome
-        if outcome.status == "retried":
-            obs.incr("resilience.cells_recovered")
-        elif outcome.status != "ok":
-            obs.incr(f"resilience.cells_{outcome.status}")
-        if self._journal is not None:
-            self._journal.record_cell(
-                key=outcome.key,
-                status=outcome.status,
-                attempts=outcome.attempts,
-                row=_journal_view(outcome.row),
-                error=outcome.error,
-            )
-
-    def _handle_failure(
-        self,
-        pending: _Pending,
-        status: str,
-        error: dict[str, Any],
-    ) -> _Pending | None:
-        """Retry the attempt or settle the terminal outcome.
-
-        Returns the next pending attempt when the retry budget allows
-        one, ``None`` when the failure is terminal.
-        """
-        task = self._tasks[pending.task_index]
-        if pending.attempt < self._retries:
-            obs.incr("resilience.retries")
-            delay = _backoff_delay(self._backoff, pending.attempt + 1, task.key)
-            return _Pending(
-                task_index=pending.task_index,
-                attempt=pending.attempt + 1,
-                not_before=obs.perf_clock() + delay,
-            )
-        self._finish(
-            pending.task_index,
-            CellOutcome(
-                key=task.key,
-                status=status,
-                attempts=pending.attempt + 1,
-                row=None,
-                error=error,
-            ),
-        )
-        return None
-
-    def _handle_success(self, pending: _Pending, row: dict[str, Any]) -> None:
-        self._finish(
-            pending.task_index,
-            CellOutcome(
-                key=self._tasks[pending.task_index].key,
-                status="ok" if pending.attempt == 0 else "retried",
-                attempts=pending.attempt + 1,
-                row=row,
-                error=None,
-            ),
-        )
-
-    # -- serial path ---------------------------------------------------
-
-    def run_serial(self) -> None:
-        for task_index in range(len(self._tasks)):
-            if self._resume_outcome(task_index):
-                continue
-            pending: _Pending | None = _Pending(task_index=task_index, attempt=0)
-            while pending is not None:
-                delay = pending.not_before - obs.perf_clock()
-                if delay > 0:
-                    time.sleep(delay)
-                pending = self._run_serial_attempt(pending)
-
-    def _run_serial_attempt(self, pending: _Pending) -> _Pending | None:
-        task = self._tasks[pending.task_index]
-        fault = self._fault_kind(pending.task_index, pending.attempt)
-        try:
-            with _deadline(self._timeout):
-                row = self._worker(
-                    *task.args,
-                    attempt=pending.attempt,
-                    fault=fault,
-                    in_worker=False,
-                )
-        except CellTimeout as exc:
-            return self._handle_failure(pending, "timeout", _error_summary(exc))
-        except SimulatedKill as exc:
-            return self._handle_failure(pending, "crashed", _error_summary(exc))
-        except Exception as exc:
-            return self._handle_failure(pending, "failed", _error_summary(exc))
-        self._handle_success(pending, row)
-        return None
-
-    # -- parallel path -------------------------------------------------
-
-    def run_parallel(self, n_jobs: int) -> None:
-        pending: list[_Pending] = []
-        for task_index in range(len(self._tasks)):
-            if not self._resume_outcome(task_index):
-                pending.append(_Pending(task_index=task_index, attempt=0))
-        slots = [_Slot() for _ in range(n_jobs)]
-        idle = list(reversed(slots))  # pop() takes the first slot
-        in_flight: list[_InFlight] = []
-        try:
-            while pending or in_flight:
-                self._fill_slots(pending, idle, in_flight)
-                if not in_flight:
-                    # Every runnable attempt is in backoff; sleep to the
-                    # earliest release.
-                    release = min(p.not_before for p in pending)
-                    time.sleep(
-                        max(_MIN_WAIT_SECONDS, release - obs.perf_clock())
-                    )
-                    continue
-                wait(
-                    [flight.future for flight in in_flight],
-                    timeout=self._wait_budget(pending, in_flight),
-                    return_when=FIRST_COMPLETED,
-                )
-                self._reap(pending, idle, in_flight)
-        finally:
-            for slot in slots:
-                slot.close()
-
-    def _fill_slots(
-        self,
-        pending: list[_Pending],
-        idle: list[_Slot],
-        in_flight: list[_InFlight],
-    ) -> None:
-        now = obs.perf_clock()
-        while idle and pending:
-            index = next(
-                (
-                    i
-                    for i, entry in enumerate(pending)
-                    if entry.not_before <= now
-                ),
-                None,
-            )
-            if index is None:
-                return
-            entry = pending.pop(index)
-            slot = idle.pop()
-            task = self._tasks[entry.task_index]
-            future = slot.submit(
-                self._worker,
-                *task.args,
-                attempt=entry.attempt,
-                fault=self._fault_kind(entry.task_index, entry.attempt),
-                in_worker=True,
-            )
-            deadline_at = (
-                None if self._timeout is None else obs.perf_clock() + self._timeout
-            )
-            in_flight.append(
-                _InFlight(
-                    pending=entry,
-                    slot=slot,
-                    future=future,
-                    deadline_at=deadline_at,
-                )
-            )
-
-    def _wait_budget(
-        self, pending: list[_Pending], in_flight: list[_InFlight]
-    ) -> float | None:
-        """Sleep until the next deadline or backoff release, whichever
-        comes first (``None`` when neither is armed)."""
-        horizons = [
-            flight.deadline_at
-            for flight in in_flight
-            if flight.deadline_at is not None
-        ]
-        horizons.extend(entry.not_before for entry in pending if entry.not_before)
-        if not horizons:
-            return None
-        return max(_MIN_WAIT_SECONDS, min(horizons) - obs.perf_clock())
-
-    def _reap(
-        self,
-        pending: list[_Pending],
-        idle: list[_Slot],
-        in_flight: list[_InFlight],
-    ) -> None:
-        now = obs.perf_clock()
-        still_running: list[_InFlight] = []
-        for flight in in_flight:
-            if flight.future.done():
-                retry = self._settle(flight)
-            elif flight.deadline_at is not None and now >= flight.deadline_at:
-                retry = self._reap_timeout(flight)
-            else:
-                still_running.append(flight)
-                continue
-            idle.append(flight.slot)
-            if retry is not None:
-                pending.append(retry)
-        in_flight[:] = still_running
-
-    def _settle(self, flight: _InFlight) -> _Pending | None:
-        """Classify a completed future into the outcome machinery."""
-        try:
-            row = flight.future.result()
-        except BrokenExecutor as exc:
-            flight.slot.discard()
-            return self._handle_failure(
-                flight.pending, "crashed", _error_summary(exc)
-            )
-        except Exception as exc:
-            return self._handle_failure(
-                flight.pending, "failed", _error_summary(exc)
-            )
-        self._handle_success(flight.pending, row)
-        return None
-
-    def _reap_timeout(self, flight: _InFlight) -> _Pending | None:
-        """Kill a slot whose attempt blew its deadline."""
-        flight.slot.kill()
-        # The management thread breaks the future once the worker dies;
-        # bounded wait so a pathological platform cannot wedge the loop.
-        wait([flight.future], timeout=_KILL_GRACE_SECONDS)
-        timeout = self._timeout if self._timeout is not None else 0.0
-        return self._handle_failure(
-            flight.pending,
-            "timeout",
-            _error_summary(
-                CellTimeout(f"attempt exceeded its {timeout:g}s deadline")
-            ),
-        )
-
-
-def _journal_view(row: dict[str, Any] | None) -> dict[str, Any] | None:
-    """Journaled copy of a result row.
-
-    Underscore-prefixed keys are volatile side channels (the ``_trace``
-    observability delta) — process-relative, non-deterministic, and
-    meaningless on resume — so they never reach the journal.
-    """
-    if row is None:
-        return None
-    return {key: value for key, value in row.items() if not key.startswith("_")}

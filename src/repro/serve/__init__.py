@@ -21,7 +21,12 @@ from repro.serve.model import (
     model_from_estimator,
     save_model,
 )
-from repro.serve.service import BatchLabeller, ModelCache, latency_quantiles
+from repro.serve.service import (
+    BatchLabeller,
+    LabellerStopped,
+    ModelCache,
+    latency_quantiles,
+)
 from repro.serve.store import (
     MODEL_MAGIC,
     MODEL_SCHEMA_VERSION,
@@ -35,6 +40,7 @@ __all__ = [
     "MODEL_SCHEMA_VERSION",
     "BatchLabeller",
     "FittedModel",
+    "LabellerStopped",
     "ModelCache",
     "ModelFormatError",
     "latency_quantiles",

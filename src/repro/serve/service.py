@@ -47,11 +47,25 @@ from repro.env import (
     serve_cache_from_env,
     serve_delay_from_env,
 )
-from repro.resilience.faults import FaultSpec, fire, parse_faults
+from repro.fabric.faults import FaultSpec, fire, parse_faults
 from repro.serve.model import FittedModel, load_model
 from repro.types import FloatArray, IntArray
 
-__all__ = ["BatchLabeller", "ModelCache", "latency_quantiles"]
+__all__ = [
+    "BatchLabeller",
+    "LabellerStopped",
+    "ModelCache",
+    "latency_quantiles",
+]
+
+
+class LabellerStopped(RuntimeError):
+    """A label request arrived at a stopping or stopped labeller.
+
+    Raised synchronously by :meth:`BatchLabeller.label` — the request
+    is *rejected*, never silently enqueued behind the stop sentinel
+    where its future would dangle forever.
+    """
 
 
 class ModelCache:
@@ -237,6 +251,7 @@ class BatchLabeller:
         ]
         self._queue: asyncio.Queue | None = None
         self._worker: asyncio.Task | None = None
+        self._closing = False
         self._sequence = 0
         self.requests = 0
         self.batches = 0
@@ -254,15 +269,37 @@ class BatchLabeller:
         """Spawn the batching worker on the running event loop."""
         if self._worker is not None:
             raise RuntimeError("labeller already started")
+        self._closing = False
         self._queue = asyncio.Queue()
         self._worker = asyncio.get_running_loop().create_task(self._run())
 
     async def stop(self) -> None:
-        """Drain the queue and retire the worker."""
+        """Drain and retire the worker, flushing in-flight batches.
+
+        The closing flag flips *synchronously*, so every later
+        :meth:`label` call fails fast with :class:`LabellerStopped`
+        instead of parking a request behind the stop sentinel.
+        Requests that were already queued — including any that slipped
+        in between the flag and the sentinel at an await boundary —
+        are labelled and resolved before ``stop`` returns: shutdown
+        flushes work, it never drops it.
+        """
         if self._worker is None or self._queue is None:
             return
-        await self._queue.put(_STOP)
-        await self._worker
+        self._closing = True
+        queue, worker = self._queue, self._worker
+        await queue.put(_STOP)
+        await worker
+        stragglers: list[_Request] = []
+        while True:
+            try:
+                item = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is not _STOP:
+                stragglers.append(item)
+        if stragglers:
+            self._process(stragglers)
         self._worker = None
         self._queue = None
 
@@ -272,8 +309,14 @@ class BatchLabeller:
         Returns the per-point label vector (noise = ``-1``), identical
         to :meth:`repro.serve.FittedModel.label` on the same points —
         micro-batching never changes a label.  Raises whatever the
-        model load or an injected fault raised for this request.
+        model load or an injected fault raised for this request, and
+        :class:`LabellerStopped` once :meth:`stop` has begun.
         """
+        if self._closing:
+            raise LabellerStopped(
+                "labeller is stopped: the request was rejected, not "
+                "silently dropped"
+            )
         if self._queue is None:
             raise RuntimeError("labeller is not started")
         points = np.asarray(points, dtype=np.float64)

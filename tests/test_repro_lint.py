@@ -448,6 +448,52 @@ class TestR012ModelFileIO:
         assert codes(source, path=CORE_PATH) == []
 
 
+class TestR013PoolConstruction:
+    BAD_EXECUTOR = (
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "pool = ProcessPoolExecutor(max_workers=2)\n"
+    )
+    BAD_DOTTED = (
+        "import concurrent.futures\n"
+        "pool = concurrent.futures.ProcessPoolExecutor()\n"
+    )
+    BAD_MP = "import multiprocessing\npool = multiprocessing.Pool(4)\n"
+    BAD_MP_ALIAS = "import multiprocessing as mp\npool = mp.Pool()\n"
+    FABRIC_PATH = "src/repro/fabric/supervisor.py"
+    RESILIENCE_PATH = "src/repro/resilience/supervisor.py"
+    KERNELS_PATH = "src/repro/core/kernels/dispatch.py"
+
+    def test_executor_construction_fires_in_package(self):
+        assert codes(self.BAD_EXECUTOR, path=CORE_PATH) == ["R013"]
+        assert codes(self.BAD_DOTTED, path=EXPERIMENTS_PATH) == ["R013"]
+
+    def test_multiprocessing_pool_fires(self):
+        assert codes(self.BAD_MP, path=DATA_PATH) == ["R013"]
+        assert codes(self.BAD_MP_ALIAS, path=DATA_PATH) == ["R013"]
+
+    def test_fabric_package_is_exempt(self):
+        assert codes(self.BAD_EXECUTOR, path=self.FABRIC_PATH) == []
+
+    def test_resilience_shims_and_kernels_are_exempt(self):
+        assert codes(self.BAD_EXECUTOR, path=self.RESILIENCE_PATH) == []
+        assert codes(self.BAD_EXECUTOR, path=self.KERNELS_PATH) == []
+
+    def test_tests_and_scripts_are_exempt(self):
+        assert codes(self.BAD_EXECUTOR, path=TEST_PATH) == []
+        assert codes(self.BAD_EXECUTOR, path="scripts/tool.py") == []
+
+    def test_message_points_at_the_fabric(self):
+        finding = lint_source(self.BAD_EXECUTOR, CORE_PATH)[0]
+        assert "repro.fabric" in finding.message
+
+    def test_line_suppression_silences_r013(self):
+        source = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "pool = ProcessPoolExecutor()  # repro-lint: disable=R013\n"
+        )
+        assert codes(source, path=CORE_PATH) == []
+
+
 class TestSuppression:
     def test_line_suppression(self):
         source = "import numpy as np\nx = np.random.rand(3)  # repro-lint: disable=R001\n"

@@ -195,7 +195,9 @@ class TestJournalFile:
         # Corrupt the first cell record; the torn-line tolerance only
         # covers the final line, so this must fail loudly.
         path.write_text(path.read_text().replace('"kind": "cell"', "<garbage>", 1))
-        with pytest.raises(JournalError, match=r"run\.jsonl:2: malformed"):
+        with pytest.raises(
+            JournalError, match=r"run\.jsonl:2: torn journal record at byte offset"
+        ):
             load_journal(path)
 
     @pytest.mark.parametrize(
@@ -258,8 +260,8 @@ class TestRunSupervisedSerial:
         assert [o.status for o in outcomes] == ["ok", "retried"]
         assert outcomes[1].attempts == 2
         assert outcomes[1].row["value"] == "b"
-        assert tracer.counters["resilience.retries"] == 1
-        assert tracer.counters["resilience.cells_recovered"] == 1
+        assert tracer.counters["fabric.retries"] == 1
+        assert tracer.counters["fabric.cells_recovered"] == 1
 
     def test_retry_exhaustion_is_terminal(self):
         with obs.capture() as tracer:
@@ -273,8 +275,8 @@ class TestRunSupervisedSerial:
         assert outcomes[0].status == "failed"
         assert outcomes[0].attempts == 3
         assert outcomes[0].error["type"] == "InjectedFault"
-        assert tracer.counters["resilience.retries"] == 2
-        assert tracer.counters["resilience.cells_failed"] == 1
+        assert tracer.counters["fabric.retries"] == 2
+        assert tracer.counters["fabric.cells_failed"] == 1
 
     def test_hang_is_reaped_by_the_deadline(self):
         outcomes = run_supervised(
@@ -373,7 +375,7 @@ class TestSupervisorJournal:
         assert outcomes[0].status == "ok"
         assert outcomes[0].row == {"value": "journaled"}
         assert outcomes[1].resumed is False
-        assert tracer.counters["resilience.cells_resumed"] == 1
+        assert tracer.counters["fabric.cells_resumed"] == 1
 
 
 class TestIsBetter:
@@ -533,9 +535,16 @@ class TestSuiteResume:
             journal=journal,
         )
         lines = journal.read_text().splitlines()
-        assert len(lines) == 1 + SUITE_CELLS  # header + one line per cell
-        # Simulate an interrupt after three finished cells.
-        journal.write_text("\n".join(lines[:4]) + "\n")
+        records = [json.loads(line) for line in lines]
+        cell_lines = [
+            number for number, record in enumerate(records)
+            if record["kind"] == "cell"
+        ]
+        assert len(cell_lines) == SUITE_CELLS  # one commit per cell
+        # Simulate an interrupt right after the third committed cell;
+        # any lease journaled past that point is left dangling, exactly
+        # as a real crash would leave it.
+        journal.write_text("\n".join(lines[: cell_lines[2] + 1]) + "\n")
         with obs.capture() as tracer:
             resumed = run_suite(
                 [suite_dataset],
@@ -546,7 +555,7 @@ class TestSuiteResume:
                 journal=journal,
                 resume=True,
             )
-        assert tracer.counters["resilience.cells_resumed"] == 3
+        assert tracer.counters["fabric.cells_resumed"] == 3
         assert [_stable(r) for r in resumed] == [_stable(r) for r in full]
         assert [_stable(r) for r in resumed] == [
             _stable(r) for r in baseline_rows
@@ -562,7 +571,7 @@ class TestSuiteResume:
                 journal=journal,
                 resume=True,
             )
-        assert tracer.counters["resilience.cells_resumed"] == SUITE_CELLS
+        assert tracer.counters["fabric.cells_resumed"] == SUITE_CELLS
         assert [_stable(r) for r in replayed] == [_stable(r) for r in full]
 
     def test_resume_true_requires_a_journal(self, suite_dataset):

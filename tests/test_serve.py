@@ -41,6 +41,7 @@ from repro.resilience.faults import InjectedFault
 from repro.serve import (
     MODEL_MAGIC,
     BatchLabeller,
+    LabellerStopped,
     ModelCache,
     ModelFormatError,
     load_model,
@@ -508,6 +509,85 @@ class TestBatchLabeller:
         async def main():
             with pytest.raises(RuntimeError, match="not started"):
                 await labeller.label("m.model", np.zeros((1, 2)))
+
+        asyncio.run(main())
+
+
+class TestLabellerShutdown:
+    """stop() flushes in-flight work and fails new work loudly."""
+
+    def test_stop_flushes_queued_requests(self, small_fit, tmp_path):
+        estimator, points = small_fit
+        save_model(estimator, tmp_path / "m.model")
+        cache = ModelCache(root=tmp_path)
+
+        async def main():
+            # A huge delay window parks the worker coalescing forever;
+            # only the stop sentinel can close the batch, so these
+            # requests are in flight exactly when stop() runs.
+            labeller = BatchLabeller(cache, batch_points=10**6, delay=60.0)
+            labeller.start()
+            pending = [
+                asyncio.ensure_future(
+                    labeller.label("m.model", points[i::3])
+                )
+                for i in range(3)
+            ]
+            while labeller._queue.qsize() < 3:  # let them all enqueue
+                await asyncio.sleep(0)
+            await labeller.stop()
+            assert all(future.done() for future in pending)
+            return await asyncio.gather(*pending)
+
+        parts = asyncio.run(main())
+        for i, part in enumerate(parts):
+            assert np.array_equal(part, estimator.labels_[i::3])
+
+    def test_label_after_stop_raises_typed_error(self, small_fit, tmp_path):
+        estimator, points = small_fit
+        save_model(estimator, tmp_path / "m.model")
+        cache = ModelCache(root=tmp_path)
+
+        async def main():
+            async with BatchLabeller(cache, delay=0.0) as labeller:
+                await labeller.label("m.model", points[:16])
+            with pytest.raises(LabellerStopped, match="not.*dropped"):
+                await labeller.label("m.model", points[:16])
+
+        asyncio.run(main())
+        assert issubclass(LabellerStopped, RuntimeError)
+
+    def test_restart_after_stop(self, small_fit, tmp_path):
+        estimator, points = small_fit
+        save_model(estimator, tmp_path / "m.model")
+        cache = ModelCache(root=tmp_path)
+
+        async def main():
+            labeller = BatchLabeller(cache, delay=0.0)
+            labeller.start()
+            await labeller.stop()
+            labeller.start()  # a stopped labeller can be restarted...
+            labels = await labeller.label("m.model", points[:32])
+            await labeller.stop()
+            return labels
+
+        labels = asyncio.run(main())
+        assert np.array_equal(labels, estimator.labels_[:32])
+
+    def test_stats_safe_with_empty_latency_buffer(self, tmp_path):
+        labeller = BatchLabeller(ModelCache(root=tmp_path))
+        stats = labeller.stats()
+        assert stats["requests"] == 0
+        assert stats["latency_s"] == {}
+
+    def test_stop_twice_is_idempotent(self, small_fit, tmp_path):
+        cache = ModelCache(root=tmp_path)
+
+        async def main():
+            labeller = BatchLabeller(cache, delay=0.0)
+            labeller.start()
+            await labeller.stop()
+            await labeller.stop()  # no worker left: a quiet no-op
 
         asyncio.run(main())
 

@@ -25,12 +25,29 @@ RULES: dict[str, str] = {
     "R006": "no mutable default arguments",
     "R007": "environment access outside repro.env",
     "R008": "direct timing calls outside repro.obs and benchmarks",
-    "R009": "no bare or silently-swallowed except outside repro.resilience",
+    "R009": "no bare or silently-swallowed except outside the job fabric",
     "R010": "no direct numba imports outside repro.core.kernels",
     "R011": "no direct ctypes imports outside the cext backend module",
     "R012": "no direct model-file I/O outside repro.serve.store",
+    "R013": "no process-pool construction outside repro.fabric",
     "R000": "file could not be parsed",
 }
+
+#: Process-pool constructors reserved to the fabric (R013).  Every
+#: worker-process fan-out must go through repro.fabric.run_supervised —
+#: it owns leases, retries, deadlines and fault attribution; a raw pool
+#: elsewhere would be an unsupervised execution path whose worker
+#: deaths take down in-flight siblings.  repro.core.kernels keeps its
+#: exemption for backend-internal parallelism.
+_POOL_CONSTRUCTORS = frozenset(
+    {
+        "ProcessPoolExecutor",
+        "concurrent.futures.ProcessPoolExecutor",
+        "futures.ProcessPoolExecutor",
+        "multiprocessing.Pool",
+        "mp.Pool",
+    }
+)
 
 #: Environment-touching callables/objects funnelled through repro.env (R007).
 _ENV_ACCESSORS = frozenset(
@@ -155,6 +172,7 @@ class PathContext:
     in_obs: bool
     in_benchmarks: bool
     in_resilience: bool
+    in_fabric: bool
     in_kernels: bool
     is_cext_module: bool
     in_serve: bool
@@ -180,6 +198,7 @@ class PathContext:
             in_obs="/repro/obs/" in normalized,
             in_benchmarks="benchmarks" in parts[:-1],
             in_resilience="/repro/resilience/" in normalized,
+            in_fabric="/repro/fabric/" in normalized,
             in_kernels="/repro/core/kernels/" in normalized,
             is_cext_module=normalized.endswith(
                 "/repro/core/kernels/cext_backend.py"
@@ -271,7 +290,38 @@ class _RuleVisitor(ast.NodeVisitor):
                 self._check_timing_call(node, dotted)
             if self._serve_io_rule_binds:
                 self._check_serve_io(node, dotted)
+            if self._pool_rule_binds:
+                self._check_pool_construction(node, dotted)
         self.generic_visit(node)
+
+    # -- R013: process pools stay inside the job fabric ---------------
+    # Every worker-process fan-out goes through
+    # repro.fabric.run_supervised, which owns leases, retries, deadlines
+    # and fault attribution.  A raw pool elsewhere is an unsupervised
+    # execution path: one worker death breaks every in-flight future at
+    # once and nothing journals what was lost.  repro.core.kernels is
+    # exempt (backend-internal parallelism), as are tests.
+
+    @property
+    def _pool_rule_binds(self) -> bool:
+        return (
+            self.context.in_package
+            and not self.context.is_test
+            and not self.context.in_fabric
+            and not self.context.in_resilience
+            and not self.context.in_kernels
+        )
+
+    def _check_pool_construction(self, node: ast.Call, dotted: str) -> None:
+        if dotted in _POOL_CONSTRUCTORS:
+            self._add(
+                node,
+                "R013",
+                f"direct {dotted} construction outside repro.fabric "
+                "(dispatch worker processes through "
+                "repro.fabric.run_supervised so every fan-out gets "
+                "leases, retries, deadlines and fault attribution)",
+            )
 
     def _check_randomness(self, node: ast.Call, dotted: str) -> None:
         parts = dotted.split(".")
@@ -523,10 +573,11 @@ class _RuleVisitor(ast.NodeVisitor):
 
     # -- R009: bare / silently-swallowed except -----------------------
     # Package code must not turn failures into silence: blanket
-    # exception handling is the resilience supervisor's job, where every
+    # exception handling is the fabric supervisor's job, where every
     # caught failure becomes a structured, journaled outcome.  Tests may
-    # swallow (pytest.raises idioms); repro.resilience is the sanctioned
-    # home for broad handlers.
+    # swallow (pytest.raises idioms); repro.fabric (and its
+    # repro.resilience compatibility shim) is the sanctioned home for
+    # broad handlers.
 
     @property
     def _except_rule_binds(self) -> bool:
@@ -534,6 +585,7 @@ class _RuleVisitor(ast.NodeVisitor):
             self.context.in_package
             and not self.context.is_test
             and not self.context.in_resilience
+            and not self.context.in_fabric
         )
 
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
@@ -544,7 +596,7 @@ class _RuleVisitor(ast.NodeVisitor):
                     "R009",
                     "bare except: swallows KeyboardInterrupt/SystemExit too "
                     "(name the exception types; blanket failure handling "
-                    "belongs in repro.resilience)",
+                    "belongs in repro.fabric)",
                 )
             if _swallows_silently(node.body):
                 self._add(
@@ -552,7 +604,7 @@ class _RuleVisitor(ast.NodeVisitor):
                     "R009",
                     "exception silently swallowed (handle it, record it, or "
                     "re-raise; blanket failure handling belongs in "
-                    "repro.resilience)",
+                    "repro.fabric)",
                 )
         self.generic_visit(node)
 
